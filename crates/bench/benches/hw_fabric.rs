@@ -1,0 +1,83 @@
+//! Criterion bench: the RTL model's software cost vs the behavioral
+//! scheduler, and Clos routing vs crossbar configuration.
+//!
+//! The RTL model simulates every bus cycle, so it is expected to be much
+//! slower than the behavioral code — this bench quantifies the cost of the
+//! fidelity. The fabric group measures what realizing a matching costs on
+//! each fabric (the per-slot work a switch control plane would do).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcf_core::lcf::CentralLcf;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+use lcf_fabric::clos::ClosNetwork;
+use lcf_fabric::crossbar::Crossbar;
+use lcf_hw::rtl::RtlScheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rtl_vs_behavioral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtl_vs_behavioral");
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool: Vec<RequestMatrix> = (0..16)
+            .map(|_| RequestMatrix::random(n, 0.4, &mut rng))
+            .collect();
+
+        let mut beh = CentralLcf::with_round_robin(n);
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("behavioral", n), &pool, |b, pool| {
+            b.iter(|| {
+                let m = beh.schedule(&pool[idx % pool.len()]);
+                idx += 1;
+                std::hint::black_box(m.size())
+            })
+        });
+
+        let mut rtl = RtlScheduler::new(n);
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("rtl", n), &pool, |b, pool| {
+            b.iter(|| {
+                let m = rtl.schedule(&pool[idx % pool.len()]);
+                idx += 1;
+                std::hint::black_box(m.size())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_realization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_realize");
+    for n in [16usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sched = CentralLcf::with_round_robin(n);
+        let matchings: Vec<_> = (0..16)
+            .map(|_| sched.schedule(&RequestMatrix::random(n, 0.5, &mut rng)))
+            .collect();
+
+        let mut xbar = Crossbar::new(n);
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("crossbar", n), &matchings, |b, ms| {
+            b.iter(|| {
+                xbar.configure(&ms[idx % ms.len()]);
+                idx += 1;
+                std::hint::black_box(xbar.crosspoints())
+            })
+        });
+
+        let clos = ClosNetwork::rearrangeable_for_ports(n);
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("clos_route", n), &matchings, |b, ms| {
+            b.iter(|| {
+                let route = clos.route(&ms[idx % ms.len()]).expect("routes");
+                idx += 1;
+                std::hint::black_box(route.size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtl_vs_behavioral, bench_fabric_realization);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: cost of one scheduling decision, per scheduler, at the
+//! paper's n = 16 across request densities (EXT-5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcf_core::registry::SchedulerKind;
+use lcf_core::request::RequestMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("schedule_n16");
+    for kind in SchedulerKind::ALL {
+        for density in [0.25, 0.75] {
+            let mut rng = StdRng::seed_from_u64(7);
+            // A pool of request matrices so the scheduler sees variety; the
+            // FIFO scheduler needs <=1 request per row.
+            let pool: Vec<RequestMatrix> = (0..64)
+                .map(|_| {
+                    if kind.wants_fifo_queues() {
+                        use rand::Rng;
+                        let mut pairs: Vec<(usize, usize)> = Vec::new();
+                        for i in 0..n {
+                            if rng.gen_bool(density) {
+                                pairs.push((i, rng.gen_range(0..n)));
+                            }
+                        }
+                        RequestMatrix::from_pairs(n, pairs)
+                    } else {
+                        RequestMatrix::random(n, density, &mut rng)
+                    }
+                })
+                .collect();
+            let mut sched = kind.build(n, 4, 11);
+            let mut idx = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("d{density}")),
+                &pool,
+                |b, pool| {
+                    b.iter(|| {
+                        let m = sched.schedule(&pool[idx % pool.len()]);
+                        idx += 1;
+                        std::hint::black_box(m.size())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: end-to-end simulator slot rate per switch model.
+//!
+//! Measures how many simulated slots per second the Fig. 11 model sustains
+//! for each scheduler — the cost of regenerating Fig. 12, and a regression
+//! guard for the simulator's hot loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::outbuf::ObSwitch;
+use lcf_sim::stats::SimStats;
+use lcf_sim::switch::{IqSwitch, QueueMode};
+use lcf_sim::traffic::{Bernoulli, DestPattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLOTS_PER_ITER: u64 = 1_000;
+
+fn bench_simulation(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default();
+    let n = cfg.n;
+    let mut group = c.benchmark_group("sim_slots");
+    group.throughput(Throughput::Elements(SLOTS_PER_ITER));
+
+    for model in [
+        ModelKind::Scheduler(SchedulerKind::LcfCentralRr),
+        ModelKind::Scheduler(SchedulerKind::LcfDistRr),
+        ModelKind::Scheduler(SchedulerKind::Islip),
+        ModelKind::Scheduler(SchedulerKind::Fifo),
+        ModelKind::OutputBuffered,
+    ] {
+        group.bench_function(BenchmarkId::new("load0.8", model.name()), |b| {
+            let mut traffic = Bernoulli::new(n, 0.8, DestPattern::Uniform);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut stats = SimStats::new(n, 0, cfg.max_latency_bucket);
+            let mut slot = 0u64;
+            match model {
+                ModelKind::OutputBuffered => {
+                    let mut sw = ObSwitch::new(n, cfg.pq_cap, cfg.outbuf_cap);
+                    b.iter(|| {
+                        for _ in 0..SLOTS_PER_ITER {
+                            sw.step(slot, &mut traffic, &mut rng, &mut stats);
+                            slot += 1;
+                        }
+                        std::hint::black_box(stats.delivered)
+                    });
+                }
+                ModelKind::Scheduler(kind) => {
+                    let mode = if kind.wants_fifo_queues() {
+                        QueueMode::SingleFifo { cap: cfg.voq_cap }
+                    } else {
+                        QueueMode::Voq { cap: cfg.voq_cap }
+                    };
+                    let mut sw = IqSwitch::new(n, kind.build(n, 4, 2), mode, cfg.pq_cap);
+                    b.iter(|| {
+                        for _ in 0..SLOTS_PER_ITER {
+                            sw.step(slot, &mut traffic, &mut rng, &mut stats);
+                            slot += 1;
+                        }
+                        std::hint::black_box(stats.delivered)
+                    });
+                }
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! EXT-6 — latency under bursty on-off traffic.
+//!
+//! Same switch as Fig. 12, but arrivals come in geometric on-off bursts
+//! (mean length 16) instead of smooth Bernoulli: a burst parks a train of
+//! packets in one VOQ, shrinking request diversity.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin bursty [--quick]`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, write_csv};
+use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};
+use lcf_sim::runner::sweep;
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0xE6);
+    let (warmup, measure) = if quick {
+        (5_000, 20_000)
+    } else {
+        (50_000, 200_000)
+    };
+    let loads = [0.3, 0.5, 0.7, 0.8, 0.9];
+    let mean_burst = 16.0;
+
+    let models = ModelKind::figure12_lineup();
+    let mut configs = Vec::new();
+    for model in &models {
+        for &load in &loads {
+            configs.push(SimConfig {
+                model: *model,
+                load,
+                traffic: TrafficKind::Bursty { mean_burst },
+                warmup_slots: warmup,
+                measure_slots: measure,
+                seed,
+                ..SimConfig::paper_default()
+            });
+        }
+    }
+    eprintln!("bursty: on-off traffic, mean burst {mean_burst}, 16 ports, seed={seed}");
+    let reports = sweep(&configs);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        let mut row = vec![model.name().to_string()];
+        for (li, &load) in loads.iter().enumerate() {
+            let r = &reports[mi * loads.len() + li];
+            row.push(f2(r.mean_latency()));
+            csv_rows.push(vec![
+                model.name().to_string(),
+                format!("{load}"),
+                format!("{}", r.mean_latency()),
+                format!("{}", r.throughput),
+            ]);
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["model".to_string()];
+    headers.extend(loads.iter().map(|l| format!("{l}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("\nEXT-6 — mean queueing delay [slots], bursty on-off arrivals");
+    println!("{}", ascii_table(&header_refs, &rows));
+
+    let dir = cli::results_dir();
+    let path = dir.join("bursty.csv");
+    write_csv(
+        &path,
+        &["model", "load", "latency_slots", "throughput"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! EXT-9 — fabric cost: crossbar vs Clos crosspoints, and routing checks.
+//!
+//! The paper's switch model admits any non-blocking fabric (Sec. 2). This
+//! experiment shows where a 3-stage Clos network starts beating the `n²`
+//! crossbar, and verifies that LCF matchings route through a rearrangeably
+//! non-blocking Clos without internal collisions.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin clos_cost`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, write_csv};
+use lcf_core::lcf::CentralLcf;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+use lcf_fabric::clos::ClosNetwork;
+use lcf_fabric::cost::{comparison, crossbar_crosspoints};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = cli::seed_arg().unwrap_or(0xE9);
+    let ns = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+    println!("EXT-9 — crosspoint cost: crossbar vs best rearrangeable Clos");
+    let rows = comparison(&ns);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.crossbar.to_string(),
+                r.clos.to_string(),
+                r.best
+                    .map(|b| format!("C({}, {}, {})", b.m, b.k, b.r))
+                    .unwrap_or_else(|| "crossbar".into()),
+                format!("{:.2}x", r.crossbar as f64 / r.clos as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["n", "crossbar", "clos", "best C(m,k,r)", "saving"],
+            &table_rows
+        )
+    );
+
+    // Routing validation: 1000 LCF matchings through a 64-port Clos.
+    let n = 64;
+    let net = ClosNetwork::rearrangeable_for_ports(n);
+    let mut sched = CentralLcf::with_round_robin(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut routed = 0usize;
+    let mut connections = 0usize;
+    for _ in 0..1_000 {
+        let requests = RequestMatrix::random(n, 0.5, &mut rng);
+        let matching = sched.schedule(&requests);
+        let route = net
+            .route(&matching)
+            .expect("rearrangeable Clos routes every matching");
+        assert!(route.verify(), "internal link collision");
+        routed += 1;
+        connections += route.size();
+    }
+    println!(
+        "routed {routed} LCF schedules ({connections} connections) through C({}, {}, {}) with zero internal collisions",
+        net.m, net.k, net.r
+    );
+    println!(
+        "({}-port crossbar: {} crosspoints; this Clos: {} crosspoints)",
+        n,
+        crossbar_crosspoints(n),
+        net.crosspoints()
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("clos_cost.csv");
+    write_csv(
+        &path,
+        &["n", "crossbar_crosspoints", "clos_crosspoints"],
+        &rows
+            .iter()
+            .map(|r| vec![r.n.to_string(), r.crossbar.to_string(), r.clos.to_string()])
+            .collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 10: scheduling communication cost of the central vs the
+//! distributed organization.
+//!
+//! Usage: `cargo run -p lcf-bench --bin fig10`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, write_csv};
+use lcf_hw::comm::{central_message_fields, comparison, distributed_message_fields};
+
+const ITERATIONS: usize = 4; // the Fig. 12 iteration budget
+
+fn main() {
+    println!("Fig. 10 — communication required per scheduling cycle");
+    let (req, gnt, vld) = central_message_fields(16);
+    println!("  central (a):     per host: req({req}) up, gnt({gnt}) + vld({vld}) down");
+    let (r, nrq, g, ngt, a) = distributed_message_fields(16);
+    println!(
+        "  distributed (b): per position per iteration: req({r})+nrq({nrq}) up, gnt({g})+ngt({ngt}) down, acc({a}) up"
+    );
+    println!("  formulas: central = n(n + log2 n + 1); distributed = i*n^2*(2*log2 n + 3), i = {ITERATIONS}\n");
+
+    let ns = [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let rows = comparison(&ns, ITERATIONS);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.central.to_string(),
+                r.distributed.to_string(),
+                format!("{:.1}x", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["n", "central bits", "distributed bits", "dist/central"],
+            &table_rows
+        )
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("fig10.csv");
+    write_csv(
+        &path,
+        &["n", "central_bits", "distributed_bits", "ratio"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.central.to_string(),
+                    r.distributed.to_string(),
+                    format!("{:.3}", r.ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write fig10.csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Regenerates Fig. 12a (mean queueing delay vs load) and Fig. 12b
+//! (latency relative to output buffering) of the paper.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin fig12 [--quick] [--seed N]`
+
+use lcf_bench::cli;
+use lcf_bench::fig12;
+use lcf_bench::table::{ascii_table, f2, f3, write_csv};
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0x1C_F2002);
+    let loads = if quick {
+        fig12::quick_load_grid()
+    } else {
+        fig12::load_grid()
+    };
+    eprintln!(
+        "fig12: 16-port switch, uniform Bernoulli, VOQ=256, PQ=1000, 4 iterations, seed={seed}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let points = fig12::run(&loads, quick, seed);
+
+    // Group into one row per model with one column per load, like the figure.
+    let models: Vec<String> = {
+        let mut seen = Vec::new();
+        for p in &points {
+            if !seen.contains(&p.model) {
+                seen.push(p.model.clone());
+            }
+        }
+        seen
+    };
+    let mut headers: Vec<String> = vec!["model".to_string()];
+    headers.extend(loads.iter().map(|l| format!("{l:.3}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let series = |metric: &dyn Fn(&fig12::Fig12Point) -> String| -> Vec<Vec<String>> {
+        models
+            .iter()
+            .map(|m| {
+                let mut row = vec![m.clone()];
+                for &l in &loads {
+                    let p = points
+                        .iter()
+                        .find(|p| &p.model == m && (p.load - l).abs() < 1e-9)
+                        .expect("every (model, load) simulated");
+                    row.push(metric(p));
+                }
+                row
+            })
+            .collect()
+    };
+
+    println!("\nFig. 12a — mean queueing delay [slots] vs load");
+    let abs_rows = series(&|p| f2(p.latency));
+    println!("{}", ascii_table(&header_refs, &abs_rows));
+
+    println!("Fig. 12b — latency relative to outbuf");
+    let rel_rows = series(&|p| f2(p.relative));
+    println!("{}", ascii_table(&header_refs, &rel_rows));
+
+    println!("Throughput (delivered fraction of link capacity)");
+    let thr_rows = series(&|p| f3(p.throughput));
+    println!("{}", ascii_table(&header_refs, &thr_rows));
+
+    // CSV: long format, one row per (model, load).
+    let dir = cli::results_dir();
+    let csv_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.clone(),
+                format!("{}", p.load),
+                format!("{}", p.latency),
+                format!("{}", p.relative),
+                format!("{}", p.throughput),
+            ]
+        })
+        .collect();
+    let path = dir.join("fig12.csv");
+    write_csv(
+        &path,
+        &[
+            "model",
+            "load",
+            "latency_slots",
+            "relative_to_outbuf",
+            "throughput",
+        ],
+        &csv_rows,
+    )
+    .expect("write fig12.csv");
+    eprintln!("wrote {}", path.display());
+}

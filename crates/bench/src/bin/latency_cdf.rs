@@ -1,0 +1,71 @@
+//! EXT-16 — latency *distributions*, not just means.
+//!
+//! Fig. 12 plots mean queueing delay; tails decide application-level
+//! deadlines. This experiment exports the full empirical CDF per scheduler
+//! at one load point and prints the deciles.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin latency_cdf [--quick] [--load L]`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, write_csv};
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::runner::run_sim_with_stats;
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0xF0);
+    let load: f64 = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--load")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.9)
+    };
+    let (warmup, measure) = if quick {
+        (10_000, 40_000)
+    } else {
+        (50_000, 200_000)
+    };
+
+    eprintln!("latency_cdf: 16 ports, load {load}, seed={seed}");
+    let models = ModelKind::figure12_lineup();
+    let quantiles = [0.5, 0.9, 0.99, 0.999];
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for model in &models {
+        let cfg = SimConfig {
+            model: *model,
+            load,
+            warmup_slots: warmup,
+            measure_slots: measure,
+            seed,
+            ..SimConfig::paper_default()
+        };
+        let (_, stats) = run_sim_with_stats(&cfg);
+        let mut row = vec![model.name().to_string()];
+        for &q in &quantiles {
+            row.push(stats.latency_quantile(q).to_string());
+        }
+        rows.push(row);
+        for (value, cum) in stats.latency_cdf() {
+            csv_rows.push(vec![
+                model.name().to_string(),
+                value.to_string(),
+                format!("{cum}"),
+            ]);
+        }
+    }
+
+    let mut headers = vec!["model".to_string()];
+    headers.extend(quantiles.iter().map(|q| format!("p{}", q * 100.0)));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("\nEXT-16 — queueing delay quantiles [slots] at load {load}");
+    println!("{}", ascii_table(&header_refs, &rows));
+
+    let dir = cli::results_dir();
+    let path = dir.join("latency_cdf.csv");
+    write_csv(&path, &["model", "delay_slots", "cum_fraction"], &csv_rows).expect("write csv");
+    eprintln!("wrote {} (full CDFs)", path.display());
+}

@@ -1,0 +1,158 @@
+//! EXT-17 — multicast fanout splitting: residue concentration vs
+//! distribution.
+//!
+//! A per-input multicast queue feeds the fanout-splitting scheduler
+//! (`lcf-core::multicast`); cells depart when every branch is served.
+//! Compares the concentrating (LCF-flavored, smallest-residual-first) and
+//! distributing (per-output round-robin) policies across loads.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin multicast [--quick]`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, f3, write_csv};
+use lcf_core::bitmat::BitMatrix;
+use lcf_core::multicast::{FanoutSplit, McastPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy)]
+struct Cell {
+    fanout: u16,
+    generated_at: u64,
+}
+
+struct Outcome {
+    mean_cell_latency: f64,
+    branches_per_slot: f64,
+    cells_completed: u64,
+    cells_generated: u64,
+}
+
+fn run(
+    n: usize,
+    load: f64,
+    mean_fanout: usize,
+    policy: McastPolicy,
+    slots: u64,
+    seed: u64,
+) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sched = FanoutSplit::new(n, policy);
+    let mut queues: Vec<VecDeque<Cell>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut residual = BitMatrix::new(n);
+    let mut hol_loaded = vec![false; n];
+    let (mut generated, mut completed, mut branches) = (0u64, 0u64, 0u64);
+    let mut latency_sum = 0.0;
+
+    for slot in 0..slots {
+        // Arrivals: a multicast cell with a random fanout set.
+        for (i, q) in queues.iter_mut().enumerate() {
+            if rng.gen_bool(load) && q.len() < 256 {
+                let size = rng.gen_range(1..=2 * mean_fanout - 1);
+                let mut fanout = 0u16;
+                while (fanout.count_ones() as usize) < size {
+                    fanout |= 1 << rng.gen_range(0..n);
+                }
+                q.push_back(Cell {
+                    fanout,
+                    generated_at: slot,
+                });
+                let _ = i;
+                generated += 1;
+            }
+        }
+
+        // Load head-of-line cells into the residual matrix.
+        for i in 0..n {
+            if !hol_loaded[i] {
+                if let Some(cell) = queues[i].front() {
+                    for j in 0..n {
+                        residual.set(i, j, cell.fanout & (1 << j) != 0);
+                    }
+                    hol_loaded[i] = true;
+                }
+            }
+        }
+
+        let grant = sched.schedule(&residual);
+        branches += grant.fanout_served() as u64;
+        for (j, &o) in grant.owner.iter().enumerate() {
+            if let Some(i) = o {
+                residual.set(i, j, false);
+            }
+        }
+        for i in 0..n {
+            if hol_loaded[i] && !residual.row_any(i) {
+                let cell = queues[i].pop_front().expect("HOL cell exists");
+                latency_sum += (slot - cell.generated_at) as f64;
+                completed += 1;
+                hol_loaded[i] = false;
+            }
+        }
+    }
+
+    Outcome {
+        mean_cell_latency: if completed > 0 {
+            latency_sum / completed as f64
+        } else {
+            f64::NAN
+        },
+        branches_per_slot: branches as f64 / slots as f64,
+        cells_completed: completed,
+        cells_generated: generated,
+    }
+}
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0xF1);
+    let n = 16;
+    let slots = if quick { 20_000 } else { 100_000 };
+    let mean_fanout = 3;
+    let loads = [0.05, 0.1, 0.15, 0.2, 0.25];
+
+    eprintln!("multicast: {n} ports, mean fanout {mean_fanout}, {slots} slots, seed={seed}");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for policy in [McastPolicy::Concentrate, McastPolicy::Distribute] {
+        let name = format!("{policy:?}").to_lowercase();
+        let mut row = vec![name.clone()];
+        for &load in &loads {
+            let o = run(n, load, mean_fanout, policy, slots, seed);
+            let done = o.cells_completed as f64 / o.cells_generated.max(1) as f64;
+            row.push(format!("{} ({})", f2(o.mean_cell_latency), f3(done)));
+            csv_rows.push(vec![
+                name.clone(),
+                format!("{load}"),
+                format!("{}", o.mean_cell_latency),
+                format!("{}", o.branches_per_slot),
+                format!("{done}"),
+            ]);
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["policy".to_string()];
+    headers.extend(loads.iter().map(|l| format!("{l}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("\nEXT-17 — mean multicast cell latency [slots] (completion fraction)");
+    println!("{}", ascii_table(&header_refs, &rows));
+    println!("(cell loads are per input per slot; mean fanout {mean_fanout} branches per cell)");
+
+    let dir = cli::results_dir();
+    let path = dir.join("multicast.csv");
+    write_csv(
+        &path,
+        &[
+            "policy",
+            "load",
+            "cell_latency",
+            "branches_per_slot",
+            "completion",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

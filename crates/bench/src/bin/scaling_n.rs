@@ -1,0 +1,89 @@
+//! EXT-15 — does the LCF advantage persist on wider switches?
+//!
+//! The paper evaluates n = 16 (the Clint prototype size) and argues the
+//! distributed scheduler exists for larger n. This experiment repeats the
+//! core Fig. 12 comparison at n = 8…64 to check that the ordering — and
+//! LCF's ≈1.4× gap to output buffering — is not an artifact of the port
+//! count.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin scaling_n [--quick]`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, write_csv};
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::runner::sweep;
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0xEF);
+    let (warmup, measure) = if quick {
+        (5_000, 20_000)
+    } else {
+        (30_000, 120_000)
+    };
+    let ns = [8usize, 16, 32, 64];
+    let load = 0.9;
+    let models = [
+        ModelKind::Scheduler(SchedulerKind::LcfCentral),
+        ModelKind::Scheduler(SchedulerKind::LcfDist),
+        ModelKind::Scheduler(SchedulerKind::Pim),
+        ModelKind::Scheduler(SchedulerKind::Islip),
+        ModelKind::Scheduler(SchedulerKind::Wavefront),
+        ModelKind::OutputBuffered,
+    ];
+
+    let mut configs = Vec::new();
+    for &n in &ns {
+        for model in &models {
+            configs.push(SimConfig {
+                model: *model,
+                n,
+                load,
+                warmup_slots: warmup,
+                measure_slots: measure,
+                seed,
+                ..SimConfig::paper_default()
+            });
+        }
+    }
+    eprintln!("scaling_n: load {load}, uniform Bernoulli, seed={seed}");
+    let reports = sweep(&configs);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        let base = reports[ni * models.len() + models.len() - 1].mean_latency(); // outbuf last
+        for (mi, model) in models.iter().enumerate() {
+            let r = &reports[ni * models.len() + mi];
+            csv_rows.push(vec![
+                n.to_string(),
+                model.name().to_string(),
+                format!("{}", r.mean_latency()),
+                format!("{}", r.mean_latency() / base),
+            ]);
+        }
+        let row: Vec<String> = std::iter::once(n.to_string())
+            .chain((0..models.len()).map(|mi| {
+                let r = &reports[ni * models.len() + mi];
+                format!(
+                    "{} ({}x)",
+                    f2(r.mean_latency()),
+                    f2(r.mean_latency() / base)
+                )
+            }))
+            .collect();
+        rows.push(row);
+    }
+
+    let mut headers = vec!["n".to_string()];
+    headers.extend(models.iter().map(|m| m.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("\nEXT-15 — mean delay [slots] (and ratio to outbuf) at load {load}");
+    println!("{}", ascii_table(&header_refs, &rows));
+
+    let dir = cli::results_dir();
+    let path = dir.join("scaling_n.csv");
+    write_csv(&path, &["n", "model", "latency", "relative"], &csv_rows).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,101 @@
+//! Regenerates Table 1: gate and register counts of the 16-port central
+//! LCF scheduler, plus the model's scaling to other port counts.
+//!
+//! Usage: `cargo run -p lcf-bench --bin table1`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, write_csv};
+use lcf_hw::gates::GateModel;
+
+fn main() {
+    let m = GateModel::new(16);
+
+    println!("Table 1 — Gate Count and Register Count of the LCF Scheduler (n = 16)");
+    let rows = vec![
+        vec![
+            "Gate count".to_string(),
+            format!("16x{}={}", m.slice().gates, m.distributed().gates),
+            m.central().gates.to_string(),
+            m.total().gates.to_string(),
+        ],
+        vec![
+            "Reg. count".to_string(),
+            format!("16x{}={}", m.slice().regs, m.distributed().regs),
+            m.central().regs.to_string(),
+            m.total().regs.to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        ascii_table(&["", "Distributed", "Central", "Total"], &rows)
+    );
+
+    println!("Per-slice component breakdown (Fig. 6 structure):");
+    let comp_rows: Vec<Vec<String>> = m
+        .slice_components()
+        .iter()
+        .map(|c| vec![c.name.to_string(), c.gates.to_string(), c.regs.to_string()])
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["component", "gates", "regs"], &comp_rows)
+    );
+
+    println!("Scaling (same structure, other port counts):");
+    let ns = [4usize, 8, 16, 32, 64, 128, 256];
+    let scale_rows: Vec<Vec<String>> = ns
+        .iter()
+        .map(|&n| {
+            let g = GateModel::new(n);
+            vec![
+                n.to_string(),
+                g.distributed().gates.to_string(),
+                g.central().gates.to_string(),
+                g.total().gates.to_string(),
+                g.total().regs.to_string(),
+                format!("{:.0}%", g.xcv600_utilization() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "n",
+                "dist gates",
+                "central gates",
+                "total gates",
+                "total regs",
+                "XCV600 util"
+            ],
+            &scale_rows
+        )
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("table1.csv");
+    write_csv(
+        &path,
+        &[
+            "n",
+            "dist_gates",
+            "central_gates",
+            "total_gates",
+            "total_regs",
+        ],
+        &ns.iter()
+            .map(|&n| {
+                let g = GateModel::new(n);
+                vec![
+                    n.to_string(),
+                    g.distributed().gates.to_string(),
+                    g.central().gates.to_string(),
+                    g.total().gates.to_string(),
+                    g.total().regs.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write table1.csv");
+    eprintln!("wrote {}", path.display());
+}

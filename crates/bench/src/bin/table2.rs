@@ -1,0 +1,67 @@
+//! Regenerates Table 2: clock cycles and wall time of the scheduling tasks
+//! at the Clint implementation's 66 MHz clock.
+//!
+//! Usage: `cargo run -p lcf-bench --bin table2`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, write_csv};
+use lcf_hw::timing::{central_time_steps, distributed_expected_time_steps, TimingModel};
+
+fn main() {
+    let m = TimingModel::paper(16);
+
+    println!("Table 2 — Scheduling Tasks (n = 16, 66 MHz clock)");
+    let rows: Vec<Vec<String>> = m
+        .table2()
+        .iter()
+        .map(|t| {
+            vec![
+                t.task.to_string(),
+                t.decomposition.to_string(),
+                t.cycles.to_string(),
+                format!("{:.0} ns", t.time_ns),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["Task", "Decomposition", "Clock Cycles", "Time"], &rows)
+    );
+
+    println!("Speed comparison (Sec. 6.2): abstract time steps per schedule");
+    let ns = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let speed_rows: Vec<Vec<String>> = ns
+        .iter()
+        .map(|&n| {
+            vec![
+                n.to_string(),
+                central_time_steps(n).to_string(),
+                format!("{:.1}", distributed_expected_time_steps(n)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["n", "central O(n)", "distributed O(log2 n)"], &speed_rows)
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("table2.csv");
+    write_csv(
+        &path,
+        &["task", "decomposition", "cycles", "time_ns"],
+        &m.table2()
+            .iter()
+            .map(|t| {
+                vec![
+                    t.task.to_string(),
+                    t.decomposition.to_string(),
+                    t.cycles.to_string(),
+                    format!("{:.1}", t.time_ns),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write table2.csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,145 @@
+//! EXT-14 — least choice vs longest queue vs oldest cell.
+//!
+//! LCF optimizes *matching size* using only the request pattern; LQF and
+//! OCF optimize backlog/age using weights. This experiment runs all three
+//! on the Fig. 12 switch under uniform, bursty and diagonal traffic and
+//! reports mean/p99 delay — the cases where weight information starts
+//! paying for itself.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin weighted [--quick]`
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, write_csv};
+use lcf_core::registry::SchedulerKind;
+use lcf_core::weighted::GreedyWeight;
+use lcf_sim::config::SimConfig;
+use lcf_sim::stats::SimStats;
+use lcf_sim::switch::{IqSwitch, QueueMode, WeightSource};
+use lcf_sim::traffic::{Bernoulli, DestPattern, OnOffBursty, Traffic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Outcome {
+    mean: f64,
+    p99: u64,
+    throughput: f64,
+}
+
+fn run(sw: &mut IqSwitch, traffic: &mut dyn Traffic, cfg: &SimConfig) -> Outcome {
+    let n = cfg.n;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut warm = SimStats::new(n, 0, cfg.max_latency_bucket);
+    for slot in 0..cfg.warmup_slots {
+        sw.step(slot, traffic, &mut rng, &mut warm);
+    }
+    let start = cfg.warmup_slots;
+    let mut stats = SimStats::new(n, start, cfg.max_latency_bucket);
+    for slot in start..start + cfg.measure_slots {
+        sw.step(slot, traffic, &mut rng, &mut stats);
+    }
+    Outcome {
+        mean: stats.mean_latency(),
+        p99: stats.latency_quantile(0.99),
+        throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * n as f64),
+    }
+}
+
+fn build_switch(name: &str, cfg: &SimConfig) -> IqSwitch {
+    let n = cfg.n;
+    match name {
+        "lqf" => IqSwitch::new_weighted(
+            n,
+            Box::new(GreedyWeight::new(n, "lqf")),
+            WeightSource::QueueLength,
+            cfg.voq_cap,
+            cfg.pq_cap,
+        ),
+        "ocf" => IqSwitch::new_weighted(
+            n,
+            Box::new(GreedyWeight::new(n, "ocf")),
+            WeightSource::HolAge,
+            cfg.voq_cap,
+            cfg.pq_cap,
+        ),
+        _ => IqSwitch::new(
+            n,
+            SchedulerKind::from_name(name)
+                .expect("known scheduler")
+                .build(n, cfg.iterations, cfg.seed),
+            QueueMode::Voq { cap: cfg.voq_cap },
+            cfg.pq_cap,
+        ),
+    }
+}
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0xEE);
+    let mut cfg = SimConfig::paper_default();
+    cfg.seed = seed;
+    if quick {
+        cfg.warmup_slots = 10_000;
+        cfg.measure_slots = 40_000;
+    } else {
+        cfg.warmup_slots = 40_000;
+        cfg.measure_slots = 160_000;
+    }
+
+    let contenders = ["lcf_central_rr", "lqf", "ocf", "islip"];
+    let scenarios: Vec<(&str, f64)> = vec![
+        ("uniform", 0.9),
+        ("uniform", 0.99),
+        ("bursty16", 0.8),
+        ("diagonal", 0.9),
+    ];
+
+    eprintln!("weighted: 16 ports, seed={seed}");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for name in contenders {
+        let mut row = vec![name.to_string()];
+        for &(scenario, load) in &scenarios {
+            let mut sw = build_switch(name, &cfg);
+            let mut traffic: Box<dyn Traffic> = match scenario {
+                "bursty16" => Box::new(OnOffBursty::new(cfg.n, load, 16.0, DestPattern::Uniform)),
+                "diagonal" => Box::new(Bernoulli::new(cfg.n, load, DestPattern::Diagonal)),
+                _ => Box::new(Bernoulli::new(cfg.n, load, DestPattern::Uniform)),
+            };
+            let o = run(&mut sw, traffic.as_mut(), &cfg);
+            row.push(format!("{} / p99 {}", f2(o.mean), o.p99));
+            csv_rows.push(vec![
+                name.to_string(),
+                scenario.to_string(),
+                format!("{load}"),
+                format!("{}", o.mean),
+                o.p99.to_string(),
+                format!("{}", o.throughput),
+            ]);
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["scheduler".to_string()];
+    headers.extend(scenarios.iter().map(|(s, l)| format!("{s}@{l}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("\nEXT-14 — mean delay [slots] / p99: pattern-based LCF vs weighted LQF/OCF");
+    println!("{}", ascii_table(&header_refs, &rows));
+    println!("(LQF/OCF pay O(n^2 log n) per slot and need queue/age state on the\n wire; the interesting question is where that buys delay back)");
+
+    let dir = cli::results_dir();
+    let path = dir.join("weighted.csv");
+    write_csv(
+        &path,
+        &[
+            "scheduler",
+            "scenario",
+            "load",
+            "mean_delay",
+            "p99",
+            "throughput",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,140 @@
+//! The Fig. 12 experiment: mean queueing delay vs load for nine schedulers.
+
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::runner::{sweep, SimReport};
+
+/// One measured point of a Fig. 12 curve.
+#[derive(Clone, Debug)]
+pub struct Fig12Point {
+    /// Curve (model) name.
+    pub model: String,
+    /// Offered load.
+    pub load: f64,
+    /// Mean queueing delay in slots (Fig. 12a's y-axis).
+    pub latency: f64,
+    /// Latency relative to `outbuf` at the same load (Fig. 12b's y-axis).
+    pub relative: f64,
+    /// Delivered throughput fraction.
+    pub throughput: f64,
+}
+
+/// The load grid used for the figure. The paper plots 0..1; queues are
+/// finite so load 1.0 is included (latency saturates at the buffer bound).
+pub fn load_grid() -> Vec<f64> {
+    vec![
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.925, 0.95, 0.975, 0.99,
+    ]
+}
+
+/// A shorter grid for `--quick` runs.
+pub fn quick_load_grid() -> Vec<f64> {
+    vec![0.3, 0.6, 0.8, 0.9, 0.95, 0.99]
+}
+
+/// Builds the full config matrix (models × loads) with Fig. 12 parameters.
+pub fn configs(loads: &[f64], quick: bool, seed: u64) -> Vec<SimConfig> {
+    let base = SimConfig::paper_default();
+    let (warmup, measure) = if quick {
+        (5_000, 20_000)
+    } else {
+        (50_000, 200_000)
+    };
+    let mut out = Vec::new();
+    for model in ModelKind::figure12_lineup() {
+        for &load in loads {
+            out.push(SimConfig {
+                model,
+                load,
+                warmup_slots: warmup,
+                measure_slots: measure,
+                seed: seed ^ (load * 1000.0) as u64,
+                ..base.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Runs the experiment and joins each curve against the `outbuf` reference
+/// to produce the Fig. 12b relative series.
+pub fn run(loads: &[f64], quick: bool, seed: u64) -> Vec<Fig12Point> {
+    let configs = configs(loads, quick, seed);
+    let reports = sweep(&configs);
+    relativize(&reports)
+}
+
+/// Computes relative latencies against the `outbuf` curve.
+pub fn relativize(reports: &[SimReport]) -> Vec<Fig12Point> {
+    let outbuf_latency = |load: f64| -> f64 {
+        reports
+            .iter()
+            .find(|r| r.model == "outbuf" && (r.load - load).abs() < 1e-9)
+            .map(|r| r.mean_latency())
+            .unwrap_or(f64::NAN)
+    };
+    reports
+        .iter()
+        .map(|r| {
+            let base = outbuf_latency(r.load);
+            Fig12Point {
+                model: r.model.clone(),
+                load: r.load,
+                latency: r.mean_latency(),
+                relative: if base > 0.0 {
+                    r.mean_latency() / base
+                } else {
+                    f64::NAN
+                },
+                throughput: r.throughput,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_sorted_and_in_range() {
+        for grid in [load_grid(), quick_load_grid()] {
+            assert!(grid.windows(2).all(|w| w[0] < w[1]));
+            assert!(grid.iter().all(|&l| (0.0..=1.0).contains(&l)));
+        }
+    }
+
+    #[test]
+    fn configs_cover_all_models_and_loads() {
+        let loads = [0.5, 0.9];
+        let cfgs = configs(&loads, true, 1);
+        assert_eq!(cfgs.len(), 9 * 2);
+        assert!(cfgs
+            .iter()
+            .all(|c| c.n == 16 && c.voq_cap == 256 && c.pq_cap == 1000));
+    }
+
+    #[test]
+    fn relativize_uses_outbuf_baseline() {
+        use lcf_sim::runner::SimReport;
+        let mk = |model: &str, load: f64, lat: f64| SimReport {
+            model: model.into(),
+            load,
+            n: 16,
+            slots: 1,
+            generated: 1,
+            delivered: 1,
+            dropped: 0,
+            mean_latency_slots: lat,
+            latency_std_dev: 0.0,
+            p50_latency: 0,
+            p99_latency: 0,
+            throughput: load,
+            jain_index: 1.0,
+            seed: 0,
+        };
+        let reports = vec![mk("outbuf", 0.5, 2.0), mk("islip", 0.5, 3.0)];
+        let points = relativize(&reports);
+        let islip = points.iter().find(|p| p.model == "islip").unwrap();
+        assert!((islip.relative - 1.5).abs() < 1e-12);
+    }
+}

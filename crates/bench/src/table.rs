@@ -1,0 +1,124 @@
+//! ASCII table rendering and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a right-aligned ASCII table with a header row.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for &w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+
+    rule(&mut out);
+    for (h, &w) in headers.iter().zip(&widths) {
+        let _ = write!(out, "| {h:>w$} ");
+    }
+    out.push_str("|\n");
+    rule(&mut out);
+    for row in rows {
+        for (cell, &w) in row.iter().zip(&widths) {
+            let _ = write!(out, "| {cell:>w$} ");
+        }
+        out.push_str("|\n");
+    }
+    rule(&mut out);
+    out
+}
+
+/// Writes a CSV file (comma-separated, quoted only when needed).
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| quote_csv(c)).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    f.flush()
+}
+
+fn quote_csv(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a float with 2 decimal places (the precision the paper's plots
+/// can be read at).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let t = ascii_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "123".into()],
+            ],
+        );
+        assert!(t.contains("| long-name |"));
+        assert!(t.contains("|         a |"));
+        assert!(t.starts_with('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let _ = ascii_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(quote_csv("plain"), "plain");
+        assert_eq!(quote_csv("a,b"), "\"a,b\"");
+        assert_eq!(quote_csv("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("lcf_bench_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n3,\"4,5\"\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.005), "1.00"); // bankers-adjacent, but stable
+        assert_eq!(f2(2.5), "2.50");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

@@ -1,0 +1,604 @@
+//! The `lcf` subcommand implementations. Each returns its output as a
+//! string so the whole surface is unit-testable.
+
+use crate::args::{parse_requests, Args};
+use lcf_core::registry::SchedulerKind;
+use lcf_core::request::RequestMatrix;
+use lcf_fabric::clos::ClosNetwork;
+use lcf_fabric::cost::optimal_clos;
+use lcf_hw::comm;
+use lcf_hw::gates::GateModel;
+use lcf_hw::timing::TimingModel;
+use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};
+use lcf_sim::runner::{run_sim, SimReport};
+use lcf_sim::traffic::DestPattern;
+use std::fmt::Write as _;
+
+/// `lcf help`.
+pub fn help() -> String {
+    "lcf — Least Choice First switch-scheduling toolkit\n\
+     \n\
+     USAGE: lcf <command> [--options]\n\
+     \n\
+     COMMANDS\n\
+     \x20 schedule   compute one matching for a request matrix\n\
+     \x20            --requests \"0:1,2;1:0,2,3\" [--n 4] [--scheduler lcf_central_rr]\n\
+     \x20            [--iterations 4] [--seed 0] [--cycles 1]\n\
+     \x20 simulate   run the Fig. 11 switch model and report delay/throughput\n\
+     \x20            --scheduler <name|outbuf> --load 0.8 [--ports 16]\n\
+     \x20            [--slots 100000] [--warmup 20000] [--seed N]\n\
+     \x20            [--pattern uniform|nonself|diagonal|hotspot:PORT:FRAC]\n\
+     \x20            [--bursty MEAN_BURST]\n\
+     \x20 sweep      simulate many (scheduler, load) points\n\
+     \x20            --loads 0.5,0.8,0.9 [--schedulers all|a,b,c] [...simulate opts]\n\
+     \x20 hw         hardware cost summary [--ports 16] [--clock-mhz 66]\n\
+     \x20 fabric     crossbar vs Clos dimensioning --ports 64\n\
+     \x20 clint      simulate the Clint interconnect\n\
+     \x20            [--bulk-load 0.6] [--quick-load 0.1] [--slots 20000]\n\
+     \x20            [--error-rate 0.0] [--hosts 16] [--seed N]\n\
+     \x20 reliable   reliable bulk transfers over lossy links\n\
+     \x20            [--loss 0.1] [--load 0.3] [--timeout 16] [--slots 20000]\n\
+     \n\
+     Scheduler names: lcf_central lcf_central_rr lcf_dist lcf_dist_rr pim\n\
+     islip wfront fifo maxsize (plus `outbuf`, `lqf`, `ocf` for simulate).\n"
+        .to_string()
+}
+
+fn parse_pattern(args: &Args, n: usize) -> Result<DestPattern, String> {
+    match args.get("pattern") {
+        None => Ok(DestPattern::Uniform),
+        Some("uniform") => Ok(DestPattern::Uniform),
+        Some("nonself") => Ok(DestPattern::UniformNonSelf),
+        Some("diagonal") => Ok(DestPattern::Diagonal),
+        Some(spec) if spec.starts_with("hotspot:") => {
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() != 3 {
+                return Err("hotspot pattern is hotspot:PORT:FRACTION".into());
+            }
+            let hot: usize = parts[1].parse().map_err(|_| "bad hotspot port")?;
+            let fraction: f64 = parts[2].parse().map_err(|_| "bad hotspot fraction")?;
+            if hot >= n {
+                return Err(format!("hotspot port {hot} out of range"));
+            }
+            Ok(DestPattern::Hotspot { hot, fraction })
+        }
+        Some(other) => Err(format!("unknown pattern `{other}`")),
+    }
+}
+
+fn sim_config(args: &Args, model: ModelKind) -> Result<SimConfig, String> {
+    let n = args.get_parsed("ports", 16usize)?;
+    let cfg = SimConfig {
+        model,
+        n,
+        load: args.get_parsed("load", 0.8f64)?,
+        pattern: parse_pattern(args, n)?,
+        traffic: match args.get("bursty") {
+            Some(_) => TrafficKind::Bursty {
+                mean_burst: args.get_parsed("bursty", 16.0f64)?,
+            },
+            None => TrafficKind::Bernoulli,
+        },
+        iterations: args.get_parsed("iterations", 4usize)?,
+        islip_iterations: args.get_parsed("islip-iterations", 4usize)?,
+        warmup_slots: args.get_parsed("warmup", 20_000u64)?,
+        measure_slots: args.get_parsed("slots", 100_000u64)?,
+        seed: args.get_parsed("seed", 0x1C_F2002u64)?,
+        pq_cap: args.get_parsed("pq", 1000usize)?,
+        voq_cap: args.get_parsed("voq", 256usize)?,
+        outbuf_cap: args.get_parsed("outbuf", 256usize)?,
+        max_latency_bucket: 4096,
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn report_block(r: &SimReport) -> String {
+    format!(
+        "model          {}\n\
+         load           {}\n\
+         ports          {}\n\
+         measured slots {}\n\
+         generated      {}\n\
+         delivered      {}\n\
+         dropped        {}\n\
+         throughput     {:.4}\n\
+         mean delay     {:.3} slots\n\
+         delay stddev   {:.3}\n\
+         p50 / p99      {} / {} slots\n\
+         jain index     {:.4}\n\
+         seed           {}\n",
+        r.model,
+        r.load,
+        r.n,
+        r.slots,
+        r.generated,
+        r.delivered,
+        r.dropped,
+        r.throughput,
+        r.mean_latency(),
+        r.latency_std_dev,
+        r.p50_latency,
+        r.p99_latency,
+        r.jain_index,
+        r.seed
+    )
+}
+
+/// `lcf schedule`.
+pub fn schedule(args: &Args) -> Result<String, String> {
+    let n: usize = args.get_parsed("n", 4usize)?;
+    let spec = args.require("requests")?;
+    let pairs = parse_requests(n, spec)?;
+    let requests = RequestMatrix::from_pairs(n, pairs);
+    let name = args.get("scheduler").unwrap_or("lcf_central_rr");
+    let kind =
+        SchedulerKind::from_name(name).ok_or_else(|| format!("unknown scheduler `{name}`"))?;
+    let iterations = args.get_parsed("iterations", 4usize)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let cycles = args.get_parsed("cycles", 1usize)?;
+
+    let mut sched = kind.build(n, iterations, seed);
+    let mut out = String::new();
+    writeln!(out, "request matrix ({n}x{n}), scheduler {name}:").unwrap();
+    for i in 0..n {
+        let row: String = (0..n)
+            .map(|j| if requests.get(i, j) { '1' } else { '.' })
+            .collect();
+        writeln!(out, "  I{i:<2} {row}  (NRQ {})", requests.nrq(i)).unwrap();
+    }
+    for cycle in 0..cycles {
+        let m = sched.schedule(&requests);
+        writeln!(out, "cycle {cycle}: {} connections", m.size()).unwrap();
+        for (i, j) in m.pairs() {
+            writeln!(out, "  I{i} -> T{j}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// `lcf simulate`.
+pub fn simulate(args: &Args) -> Result<String, String> {
+    let name = args.get("scheduler").unwrap_or("lcf_central_rr");
+    // The weighted schedulers live outside the Fig. 12 registry; they get
+    // a dedicated simulation loop with identical semantics.
+    if name == "lqf" || name == "ocf" {
+        return simulate_weighted(args, name);
+    }
+    let model =
+        ModelKind::from_name(name).ok_or_else(|| format!("unknown scheduler/model `{name}`"))?;
+    let cfg = sim_config(args, model)?;
+    let report = run_sim(&cfg);
+    Ok(report_block(&report))
+}
+
+fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
+    use lcf_core::weighted::GreedyWeight;
+    use lcf_sim::stats::SimStats;
+    use lcf_sim::switch::{IqSwitch, WeightSource};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Parse shared parameters via a placeholder model.
+    let cfg = sim_config(args, ModelKind::Scheduler(SchedulerKind::LcfCentral))?;
+    let n = cfg.n;
+    let source = if name == "lqf" {
+        WeightSource::QueueLength
+    } else {
+        WeightSource::HolAge
+    };
+    let static_name: &'static str = if name == "lqf" { "lqf" } else { "ocf" };
+    let mut sw = IqSwitch::new_weighted(
+        n,
+        Box::new(GreedyWeight::new(n, static_name)),
+        source,
+        cfg.voq_cap,
+        cfg.pq_cap,
+    );
+    let mut traffic: Box<dyn lcf_sim::traffic::Traffic> = match &cfg.traffic {
+        TrafficKind::Bursty { mean_burst } => Box::new(lcf_sim::traffic::OnOffBursty::new(
+            n,
+            cfg.load,
+            *mean_burst,
+            cfg.pattern.clone(),
+        )),
+        TrafficKind::Bernoulli => Box::new(lcf_sim::traffic::Bernoulli::new(
+            n,
+            cfg.load,
+            cfg.pattern.clone(),
+        )),
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut warm = SimStats::new(n, 0, cfg.max_latency_bucket);
+    for slot in 0..cfg.warmup_slots {
+        sw.step(slot, traffic.as_mut(), &mut rng, &mut warm);
+    }
+    let start = cfg.warmup_slots;
+    let mut stats = SimStats::new(n, start, cfg.max_latency_bucket);
+    for slot in start..start + cfg.measure_slots {
+        sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+    }
+    let report = SimReport {
+        model: name.to_string(),
+        load: cfg.load,
+        n,
+        slots: cfg.measure_slots,
+        generated: stats.generated,
+        delivered: stats.delivered,
+        dropped: stats.dropped(),
+        mean_latency_slots: stats.mean_latency(),
+        latency_std_dev: stats.latency_std_dev(),
+        p50_latency: stats.latency_quantile(0.5),
+        p99_latency: stats.latency_quantile(0.99),
+        throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * n as f64),
+        jain_index: stats.service().jain_index(),
+        seed: cfg.seed,
+    };
+    Ok(report_block(&report))
+}
+
+/// `lcf sweep`.
+pub fn sweep(args: &Args) -> Result<String, String> {
+    let loads = args
+        .get_list::<f64>("loads")?
+        .unwrap_or_else(|| vec![0.5, 0.8, 0.9, 0.95]);
+    let models: Vec<ModelKind> = match args.get("schedulers") {
+        None | Some("all") => ModelKind::figure12_lineup(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                ModelKind::from_name(name.trim())
+                    .ok_or_else(|| format!("unknown scheduler `{name}`"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mut configs = Vec::new();
+    for model in &models {
+        for &load in &loads {
+            let mut cfg = sim_config(args, *model)?;
+            cfg.load = load;
+            cfg.validate()?;
+            configs.push(cfg);
+        }
+    }
+    let reports = lcf_sim::runner::sweep(&configs);
+
+    let mut out = String::new();
+    write!(out, "{:<16}", "model").unwrap();
+    for load in &loads {
+        write!(out, " {load:>9}").unwrap();
+    }
+    out.push('\n');
+    for (mi, model) in models.iter().enumerate() {
+        write!(out, "{:<16}", model.name()).unwrap();
+        for li in 0..loads.len() {
+            let r = &reports[mi * loads.len() + li];
+            write!(out, " {:>9.2}", r.mean_latency()).unwrap();
+        }
+        out.push('\n');
+    }
+    out.push_str("(mean queueing delay in slots)\n");
+    Ok(out)
+}
+
+/// `lcf hw`.
+pub fn hw(args: &Args) -> Result<String, String> {
+    let n: usize = args.get_parsed("ports", 16usize)?;
+    if n == 0 {
+        return Err("--ports must be positive".into());
+    }
+    let clock_mhz: f64 = args.get_parsed("clock-mhz", 66.0f64)?;
+    let gates = GateModel::new(n);
+    let timing = TimingModel::new(n, clock_mhz * 1e6);
+    let mut out = String::new();
+    writeln!(out, "central LCF scheduler, n = {n}, clock {clock_mhz} MHz").unwrap();
+    writeln!(
+        out,
+        "gates:      {} distributed ({} x {}) + {} central = {}",
+        gates.distributed().gates,
+        n,
+        gates.slice().gates,
+        gates.central().gates,
+        gates.total().gates
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "registers:  {} distributed + {} central = {}",
+        gates.distributed().regs,
+        gates.central().regs,
+        gates.total().regs
+    )
+    .unwrap();
+    for t in timing.table2() {
+        writeln!(
+            out,
+            "timing:     {:<24} {:>4} cycles  {:>8.0} ns",
+            t.task, t.cycles, t.time_ns
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "comm/cycle: central {} bits, distributed (4 iters) {} bits ({:.1}x)",
+        comm::central_bits(n),
+        comm::distributed_bits(n, 4),
+        comm::overhead_ratio(n, 4)
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `lcf fabric`.
+pub fn fabric(args: &Args) -> Result<String, String> {
+    let n: usize = args.get_parsed("ports", 64usize)?;
+    if n < 2 {
+        return Err("--ports must be at least 2".into());
+    }
+    let mut out = String::new();
+    writeln!(out, "{n}-port fabrics:").unwrap();
+    writeln!(out, "  crossbar: {} crosspoints", n * n).unwrap();
+    match optimal_clos(n) {
+        Some(best) => {
+            writeln!(
+                out,
+                "  best rearrangeable Clos: C({}, {}, {}) = {} crosspoints ({:.2}x saving)",
+                best.m,
+                best.k,
+                best.r,
+                best.crosspoints(),
+                (n * n) as f64 / best.crosspoints() as f64
+            )
+            .unwrap();
+            let strict = ClosNetwork::new(2 * best.k - 1, best.k, best.r);
+            writeln!(
+                out,
+                "  strictly non-blocking:  C({}, {}, {}) = {} crosspoints",
+                strict.m,
+                strict.k,
+                strict.r,
+                strict.crosspoints()
+            )
+            .unwrap();
+        }
+        None => writeln!(out, "  no 3-stage Clos beats the crossbar at this size").unwrap(),
+    }
+    Ok(out)
+}
+
+/// `lcf clint`.
+pub fn clint(args: &Args) -> Result<String, String> {
+    let cfg = lcf_clint::sim::ClintConfig {
+        n: args.get_parsed("hosts", 16usize)?,
+        bulk_load: args.get_parsed("bulk-load", 0.6f64)?,
+        quick_load: args.get_parsed("quick-load", 0.1f64)?,
+        cfg_error_rate: args.get_parsed("error-rate", 0.0f64)?,
+        gnt_error_rate: args.get_parsed("gnt-error-rate", 0.0f64)?,
+        slots: args.get_parsed("slots", 20_000u64)?,
+        seed: args.get_parsed("seed", 0xC11A7u64)?,
+    };
+    if cfg.n == 0 || cfg.n > 16 {
+        return Err("--hosts must be 1..=16".into());
+    }
+    let r = lcf_clint::sim::ClintSim::new(cfg.clone()).run();
+    Ok(format!(
+        "clint: {} hosts, {} slots, bulk load {}, quick load {}, cfg error rate {}\n\
+         bulk:  generated {}, delivered {}, mean delay {:.2} slots, acks {}\n\
+         quick: generated {}, delivered {}, mean delay {:.2} slots, collisions {}\n\
+         control plane: {} config packets rejected by CRC\n",
+        cfg.n,
+        cfg.slots,
+        cfg.bulk_load,
+        cfg.quick_load,
+        cfg.cfg_error_rate,
+        r.bulk_generated,
+        r.bulk_delivered,
+        r.bulk_mean_latency,
+        r.acks_received,
+        r.quick_generated,
+        r.quick_delivered,
+        r.quick_mean_latency,
+        r.quick_collisions,
+        r.cfg_crc_errors
+    ))
+}
+
+/// `lcf reliable`.
+pub fn reliable(args: &Args) -> Result<String, String> {
+    let loss = args.get_parsed("loss", 0.1f64)?;
+    let cfg = lcf_clint::reliable::ReliableConfig {
+        n: args.get_parsed("hosts", 16usize)?,
+        offered_load: args.get_parsed("load", 0.3f64)?,
+        breq_loss: args.get_parsed("breq-loss", loss)?,
+        back_loss: args.get_parsed("back-loss", loss)?,
+        timeout: args.get_parsed("timeout", 16u64)?,
+        slots: args.get_parsed("slots", 20_000u64)?,
+        seed: args.get_parsed("seed", 0x5EC5u64)?,
+    };
+    if cfg.n == 0 || cfg.n > 16 {
+        return Err("--hosts must be 1..=16".into());
+    }
+    let r = lcf_clint::reliable::ReliableSim::new(cfg.clone()).run();
+    Ok(format!(
+        "reliable transfers: {} hosts, {} slots, load {}, breq loss {}, ack loss {}\n\
+         enqueued {}   delivered (unique) {}   completed {}\n\
+         duplicates suppressed {}   retransmissions {}   in flight at end {}\n\
+         mean delivery latency {:.2} slots\n",
+        cfg.n,
+        cfg.slots,
+        cfg.offered_load,
+        cfg.breq_loss,
+        cfg.back_loss,
+        r.enqueued,
+        r.delivered_unique,
+        r.completed,
+        r.duplicates_suppressed,
+        r.retransmissions,
+        r.in_flight_at_end,
+        r.mean_delivery_latency
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Args {
+        Args::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn schedule_figure3() {
+        let args = parse(&[
+            "--n",
+            "4",
+            "--requests",
+            "0:1,2;1:0,2,3;2:0,2,3;3:1",
+            "--scheduler",
+            "lcf_central_rr",
+        ]);
+        let out = schedule(&args).unwrap();
+        // Fresh pointer state (I = 0, J = 0): the Fig. 3 matrix schedules
+        // T0 -> I1, T1 -> I3, T2 -> I2 (round-robin position), T3 unmatched.
+        assert!(out.contains("3 connections"), "{out}");
+        assert!(out.contains("I1 -> T0"), "{out}");
+        assert!(out.contains("I3 -> T1"), "{out}");
+    }
+
+    #[test]
+    fn schedule_rejects_unknown_scheduler() {
+        let args = parse(&["--requests", "0:1", "--scheduler", "magic"]);
+        assert!(schedule(&args).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn simulate_produces_report() {
+        let args = parse(&[
+            "--scheduler",
+            "islip",
+            "--load",
+            "0.5",
+            "--ports",
+            "8",
+            "--slots",
+            "5000",
+            "--warmup",
+            "1000",
+        ]);
+        let out = simulate(&args).unwrap();
+        assert!(out.contains("model          islip"));
+        assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn simulate_outbuf_model() {
+        let args = parse(&[
+            "--scheduler",
+            "outbuf",
+            "--load",
+            "0.5",
+            "--ports",
+            "8",
+            "--slots",
+            "3000",
+            "--warmup",
+            "500",
+        ]);
+        assert!(simulate(&args).unwrap().contains("outbuf"));
+    }
+
+    #[test]
+    fn sweep_renders_table() {
+        let args = parse(&[
+            "--loads",
+            "0.3,0.6",
+            "--schedulers",
+            "lcf_central,pim",
+            "--ports",
+            "8",
+            "--slots",
+            "3000",
+            "--warmup",
+            "500",
+        ]);
+        let out = sweep(&args).unwrap();
+        assert!(out.contains("lcf_central"));
+        assert!(out.contains("pim"));
+    }
+
+    #[test]
+    fn hw_summary_n16() {
+        let out = hw(&parse(&[])).unwrap();
+        assert!(out.contains("7967"));
+        assert!(out.contains("1258"));
+    }
+
+    #[test]
+    fn fabric_summary() {
+        let out = fabric(&parse(&["--ports", "64"])).unwrap();
+        assert!(out.contains("4096 crosspoints"));
+        assert!(out.contains("Clos"));
+    }
+
+    #[test]
+    fn clint_summary() {
+        let out = clint(&parse(&["--slots", "2000", "--hosts", "8"])).unwrap();
+        assert!(out.contains("bulk:"));
+        assert!(out.contains("quick:"));
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        let args = parse(&["--pattern", "hotspot:3:0.25"]);
+        assert_eq!(
+            parse_pattern(&args, 8).unwrap(),
+            DestPattern::Hotspot {
+                hot: 3,
+                fraction: 0.25
+            }
+        );
+        let bad = parse(&["--pattern", "hotspot:99:0.25"]);
+        assert!(parse_pattern(&bad, 8).is_err());
+        let unknown = parse(&["--pattern", "zipf"]);
+        assert!(parse_pattern(&unknown, 8).is_err());
+    }
+
+    #[test]
+    fn simulate_weighted_schedulers() {
+        for name in ["lqf", "ocf"] {
+            let args = parse(&[
+                "--scheduler",
+                name,
+                "--load",
+                "0.6",
+                "--ports",
+                "8",
+                "--slots",
+                "3000",
+                "--warmup",
+                "500",
+            ]);
+            let out = simulate(&args).unwrap();
+            assert!(out.contains(&format!("model          {name}")), "{out}");
+            assert!(out.contains("throughput"));
+        }
+    }
+
+    #[test]
+    fn reliable_summary() {
+        let out = reliable(&parse(&[
+            "--loss", "0.05", "--slots", "2000", "--hosts", "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("retransmissions"));
+        assert!(out.contains("delivered (unique)"));
+    }
+
+    #[test]
+    fn run_dispatches() {
+        let out = crate::run(&["help".to_string()]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(crate::run(&["frobnicate".to_string()]).is_err());
+        assert!(crate::run(&[]).unwrap().contains("USAGE"));
+    }
+}

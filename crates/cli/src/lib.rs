@@ -1,0 +1,41 @@
+//! # lcf-cli — command-line interface to the LCF toolkit
+//!
+//! Installs a single binary, `lcf`, with subcommands:
+//!
+//! ```text
+//! lcf schedule  --requests "0:1,2;1:0,2,3;2:0,2,3;3:1" [--scheduler lcf_central_rr]
+//! lcf simulate  --scheduler islip --load 0.8 [--ports 16] [--slots 100000]
+//! lcf sweep     --loads 0.5,0.8,0.9 [--schedulers all]
+//! lcf hw        [--ports 16] [--clock-mhz 66]
+//! lcf fabric    --ports 64
+//! lcf clint     --bulk-load 0.5 --quick-load 0.2 [--slots 20000]
+//! lcf reliable  --loss 0.1 [--load 0.3] [--slots 20000]
+//! ```
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string (see [`cmd`]), which keeps the whole surface unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod cmd;
+
+/// Entry point shared by the binary and the tests.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(command) = argv.first() else {
+        return Ok(cmd::help());
+    };
+    let rest = args::Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "schedule" => cmd::schedule(&rest),
+        "simulate" => cmd::simulate(&rest),
+        "sweep" => cmd::sweep(&rest),
+        "hw" => cmd::hw(&rest),
+        "fabric" => cmd::fabric(&rest),
+        "clint" => cmd::clint(&rest),
+        "reliable" => cmd::reliable(&rest),
+        "help" | "--help" | "-h" => Ok(cmd::help()),
+        other => Err(format!("unknown command `{other}`; try `lcf help`")),
+    }
+}

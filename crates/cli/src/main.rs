@@ -1,0 +1,12 @@
+//! The `lcf` binary: thin wrapper over [`lcf_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match lcf_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! CRC-16 for the Clint control packets.
+//!
+//! The config and grant packet formats (Sec. 4.1) both end in a 16-bit CRC
+//! used to detect transmission errors. We use CRC-16/CCITT-FALSE
+//! (polynomial `0x1021`, initial value `0xFFFF`, no reflection) — a common
+//! choice for short control frames and fully sufficient for the model.
+
+/// CRC-16/CCITT-FALSE polynomial.
+pub const POLY: u16 = 0x1021;
+/// CRC-16/CCITT-FALSE initial value.
+pub const INIT: u16 = 0xFFFF;
+
+/// Computes the CRC-16/CCITT-FALSE of `data`.
+///
+/// ```
+/// use lcf_clint::crc::crc16;
+/// assert_eq!(crc16(b"123456789"), 0x29B1); // the standard check value
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = INIT;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ POLY;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the CRC (big-endian) to a frame.
+pub fn append_crc(frame: &mut Vec<u8>) {
+    let c = crc16(frame);
+    frame.extend_from_slice(&c.to_be_bytes());
+}
+
+/// Verifies a frame that ends in its big-endian CRC; returns the payload on
+/// success.
+pub fn check_crc(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = frame.split_at(frame.len() - 2);
+    let expect = u16::from_be_bytes([tail[0], tail[1]]);
+    (crc16(payload) == expect).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // The CRC-16/CCITT-FALSE check value for "123456789" is 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc16(&[]), INIT);
+    }
+
+    #[test]
+    fn append_then_check_roundtrip() {
+        let mut frame = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        append_crc(&mut frame);
+        assert_eq!(frame.len(), 6);
+        assert_eq!(check_crc(&frame), Some(&[0xDE, 0xAD, 0xBE, 0xEF][..]));
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let mut frame = vec![1, 2, 3, 4, 5];
+        append_crc(&mut frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut corrupted = frame.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    check_crc(&corrupted).is_none(),
+                    "flip at byte {byte} bit {bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_errors_detected() {
+        // CRC-16 detects all burst errors up to 16 bits.
+        let mut frame = vec![0x55; 10];
+        append_crc(&mut frame);
+        for start in 0..frame.len() - 1 {
+            let mut corrupted = frame.clone();
+            corrupted[start] ^= 0xFF;
+            corrupted[start + 1] ^= 0xFF;
+            assert!(
+                check_crc(&corrupted).is_none(),
+                "burst at {start} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(check_crc(&[]).is_none());
+        assert!(check_crc(&[0x12]).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # lcf-clint — a model of the Clint cluster interconnect
+//!
+//! The paper's Sec. 4 describes Clint, the system the LCF scheduler was
+//! built for: a 16-host star-topology cluster interconnect with a
+//! *segregated architecture* — two physically separate transmission
+//! channels:
+//!
+//! * the **bulk channel**, optimized for bandwidth: time slots are
+//!   *scheduled* by the central LCF scheduler before packets are sent, so
+//!   packets never collide ([`pipeline`]);
+//! * the **quick channel**, optimized for latency: best-effort transmission;
+//!   colliding packets lose all but one ([`quick`]).
+//!
+//! Hosts and switch exchange scheduling information in *configuration* and
+//! *grant* packets ([`packets`]) protected by CRC-16 ([`crc`]). A
+//! *precalculated schedule* carried in the config packet reserves
+//! connections for real-time or multicast traffic before the LCF scheduler
+//! fills the rest of the slot ([`precalc`]).
+//!
+//! [`sim`] ties it all together into a per-slot simulation of both channels
+//! (used by the EXT-7 experiment and the `realtime_multicast` example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod packets;
+pub mod pipeline;
+pub mod precalc;
+pub mod quick;
+pub mod reliable;
+pub mod sim;
+
+/// Number of hosts in the Clint prototype (Sec. 4: "up to 16 host
+/// computers").
+pub const CLINT_PORTS: usize = 16;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::crc::crc16;
+    pub use crate::packets::{ConfigPacket, GrantPacket, PacketError};
+    pub use crate::pipeline::{BulkPipeline, PipelineStage};
+    pub use crate::precalc::{MulticastSchedule, PrecalcSchedule};
+    pub use crate::quick::QuickChannel;
+    pub use crate::reliable::{ReliableConfig, ReliableSim};
+    pub use crate::sim::{ClintConfig, ClintSim};
+    pub use crate::CLINT_PORTS;
+}

@@ -1,0 +1,256 @@
+//! The Clint control packet formats (Sec. 4.1).
+//!
+//! Two packet types travel on the quick channel to drive the bulk
+//! scheduler:
+//!
+//! * **Configuration packets**, host → switch:
+//!   `{type=cfg | req[15..0] | pre[15..0] | ben[15..0] | qen[15..0] | CRC[15..0]}`
+//! * **Grant packets**, switch → host:
+//!   `{type=gnt | nodeId[3..0] | gnt[3..0] | gntVal | linkErr | CRCErr | CRC[15..0]}`
+//!
+//! The wire encoding here is byte-aligned (a type byte, big-endian fields,
+//! flag bits packed into one byte) — the paper does not specify framing
+//! below the field level, and byte alignment keeps the codec honest and
+//! testable without changing any semantics.
+
+use crate::crc::{append_crc, check_crc};
+
+/// Packet type tag for configuration packets.
+pub const TYPE_CFG: u8 = 0xC5;
+/// Packet type tag for grant packets.
+pub const TYPE_GNT: u8 = 0x6A;
+
+/// Codec error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// Frame shorter than the fixed format.
+    Truncated,
+    /// CRC mismatch — the receiver sets its `CRCErr` flag.
+    CrcMismatch,
+    /// Unknown or unexpected type byte.
+    BadType,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated => f.write_str("truncated frame"),
+            PacketError::CrcMismatch => f.write_str("CRC mismatch"),
+            PacketError::BadType => f.write_str("unexpected packet type"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A configuration packet (host → bulk scheduler).
+///
+/// ```
+/// use lcf_clint::packets::ConfigPacket;
+///
+/// let p = ConfigPacket { req: 0b0110, ben: 0xFFFF, qen: 0xFFFF, ..Default::default() };
+/// let wire = p.encode();
+/// assert_eq!(ConfigPacket::decode(&wire), Ok(p));
+/// assert!(p.requests(1) && p.requests(2) && !p.requests(0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfigPacket {
+    /// Requested targets: bit `j` set iff this host has a bulk packet queued
+    /// for target `j` (the scheduler's request vector).
+    pub req: u16,
+    /// Precalculated schedule: bit `j` set iff this host claims target `j`
+    /// for its precalculated (real-time / multicast) transfer (Sec. 4.3).
+    pub pre: u16,
+    /// Bulk-initiator enable mask — hosts use this to disable forwarding
+    /// from malfunctioning hosts.
+    pub ben: u16,
+    /// Quick-initiator enable mask.
+    pub qen: u16,
+}
+
+impl ConfigPacket {
+    /// Encoded length in bytes: type + 4×u16 fields + CRC16.
+    pub const WIRE_LEN: usize = 1 + 8 + 2;
+
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut f = Vec::with_capacity(Self::WIRE_LEN);
+        f.push(TYPE_CFG);
+        f.extend_from_slice(&self.req.to_be_bytes());
+        f.extend_from_slice(&self.pre.to_be_bytes());
+        f.extend_from_slice(&self.ben.to_be_bytes());
+        f.extend_from_slice(&self.qen.to_be_bytes());
+        append_crc(&mut f);
+        f
+    }
+
+    /// Decodes from the wire format.
+    pub fn decode(frame: &[u8]) -> Result<ConfigPacket, PacketError> {
+        if frame.len() != Self::WIRE_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let payload = check_crc(frame).ok_or(PacketError::CrcMismatch)?;
+        if payload[0] != TYPE_CFG {
+            return Err(PacketError::BadType);
+        }
+        let word = |i: usize| u16::from_be_bytes([payload[i], payload[i + 1]]);
+        Ok(ConfigPacket {
+            req: word(1),
+            pre: word(3),
+            ben: word(5),
+            qen: word(7),
+        })
+    }
+
+    /// True if this host requests target `j`.
+    pub fn requests(&self, j: usize) -> bool {
+        j < 16 && self.req & (1 << j) != 0
+    }
+
+    /// True if this host pre-claims target `j`.
+    pub fn preclaims(&self, j: usize) -> bool {
+        j < 16 && self.pre & (1 << j) != 0
+    }
+}
+
+/// A grant packet (bulk scheduler → host).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrantPacket {
+    /// Host id assigned at initialization time.
+    pub node_id: u8,
+    /// Encoded target number of the granted request.
+    pub gnt: u8,
+    /// Whether `gnt` is valid (the host was granted a connection).
+    pub gnt_val: bool,
+    /// A link error was detected since the last grant packet.
+    pub link_err: bool,
+    /// The last configuration packet had a CRC error or was missing.
+    pub crc_err: bool,
+}
+
+impl GrantPacket {
+    /// Encoded length: type + nodeId/gnt byte + flags byte + CRC16.
+    pub const WIRE_LEN: usize = 1 + 2 + 2;
+
+    /// Encodes to the wire format. `node_id` and `gnt` are 4-bit fields.
+    ///
+    /// # Panics
+    /// Panics if `node_id` or `gnt` exceed 4 bits.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.node_id < 16, "nodeId is a 4-bit field");
+        assert!(self.gnt < 16, "gnt is a 4-bit field");
+        let mut f = Vec::with_capacity(Self::WIRE_LEN);
+        f.push(TYPE_GNT);
+        f.push((self.node_id << 4) | self.gnt);
+        f.push(
+            u8::from(self.gnt_val) | (u8::from(self.link_err) << 1) | (u8::from(self.crc_err) << 2),
+        );
+        append_crc(&mut f);
+        f
+    }
+
+    /// Decodes from the wire format.
+    pub fn decode(frame: &[u8]) -> Result<GrantPacket, PacketError> {
+        if frame.len() != Self::WIRE_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let payload = check_crc(frame).ok_or(PacketError::CrcMismatch)?;
+        if payload[0] != TYPE_GNT {
+            return Err(PacketError::BadType);
+        }
+        Ok(GrantPacket {
+            node_id: payload[1] >> 4,
+            gnt: payload[1] & 0x0F,
+            gnt_val: payload[2] & 1 != 0,
+            link_err: payload[2] & 2 != 0,
+            crc_err: payload[2] & 4 != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_roundtrip() {
+        let p = ConfigPacket {
+            req: 0b1010_0000_0000_0011,
+            pre: 0b0000_0000_0001_0000,
+            ben: 0xFFFF,
+            qen: 0xFFFE,
+        };
+        let wire = p.encode();
+        assert_eq!(wire.len(), ConfigPacket::WIRE_LEN);
+        assert_eq!(ConfigPacket::decode(&wire), Ok(p));
+    }
+
+    #[test]
+    fn config_bit_queries() {
+        let p = ConfigPacket {
+            req: 0b101,
+            pre: 0b010,
+            ..Default::default()
+        };
+        assert!(p.requests(0));
+        assert!(!p.requests(1));
+        assert!(p.requests(2));
+        assert!(p.preclaims(1));
+        assert!(!p.preclaims(0));
+        assert!(!p.requests(99));
+    }
+
+    #[test]
+    fn grant_roundtrip_all_flag_combos() {
+        for flags in 0..8u8 {
+            let p = GrantPacket {
+                node_id: 13,
+                gnt: 7,
+                gnt_val: flags & 1 != 0,
+                link_err: flags & 2 != 0,
+                crc_err: flags & 4 != 0,
+            };
+            assert_eq!(GrantPacket::decode(&p.encode()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut wire = ConfigPacket {
+            req: 0x1234,
+            ..Default::default()
+        }
+        .encode();
+        wire[2] ^= 0x40;
+        assert_eq!(ConfigPacket::decode(&wire), Err(PacketError::CrcMismatch));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let cfg_wire = ConfigPacket::default().encode();
+        assert_eq!(GrantPacket::decode(&cfg_wire), Err(PacketError::Truncated));
+        // Same length, wrong tag: craft a grant-length frame with cfg tag.
+        let mut frame = vec![TYPE_CFG, 0x00, 0x00];
+        crate::crc::append_crc(&mut frame);
+        assert_eq!(GrantPacket::decode(&frame), Err(PacketError::BadType));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            ConfigPacket::decode(&[0xC5, 1, 2]),
+            Err(PacketError::Truncated)
+        );
+        assert_eq!(GrantPacket::decode(&[]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit field")]
+    fn oversized_grant_field_panics() {
+        let _ = GrantPacket {
+            node_id: 16,
+            ..Default::default()
+        }
+        .encode();
+    }
+}

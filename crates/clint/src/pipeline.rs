@@ -1,0 +1,339 @@
+//! The three-stage bulk channel pipeline (Sec. 4.1, Fig. 5).
+//!
+//! The bulk channel overlaps scheduling and forwarding: in slot `c` the
+//! hosts' configuration packets are scheduled and grants returned; in slot
+//! `c+1` the granted bulk request packets (`breq`) traverse the switch; in
+//! slot `c+2` the targets return acknowledgment packets (`back`). A new
+//! schedule starts every slot, so the pipeline sustains one full slot of
+//! transfers per slot despite the 3-slot control latency.
+
+use crate::packets::{ConfigPacket, GrantPacket};
+use crate::precalc::{PrecalcSchedule, SlotSchedule};
+use lcf_core::request::RequestMatrix;
+use std::collections::VecDeque;
+
+/// The pipeline stage a scheduled slot is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Config/grant exchange; the scheduler runs.
+    Schedule,
+    /// Bulk request packets traverse the switch.
+    Transfer,
+    /// Acknowledgment packets return to the initiators.
+    Acknowledge,
+}
+
+/// Everything that happened on the bulk channel in one slot.
+#[derive(Clone, Debug)]
+pub struct SlotEvents {
+    /// Slot number.
+    pub slot: u64,
+    /// Grant packets returned to the hosts (schedule stage of this slot).
+    pub grants: Vec<GrantPacket>,
+    /// `(initiator, target)` transfers executed this slot (scheduled in the
+    /// previous slot).
+    pub transfers: Vec<(usize, usize)>,
+    /// `(target, initiator)` acknowledgments returned this slot (for
+    /// transfers executed in the previous slot).
+    pub acks: Vec<(usize, usize)>,
+    /// Quick-channel enable mask voted this slot (AND of all intact `qen`
+    /// fields): bit `i` clear means the quick switch must not forward from
+    /// host `i`.
+    pub quick_enable: u16,
+}
+
+/// The bulk-channel pipeline: a Clint scheduler plus two slots of in-flight
+/// schedule state.
+pub struct BulkPipeline {
+    n: usize,
+    slot: u64,
+    scheduler: crate::precalc::ClintScheduler,
+    // Front = transfer stage, back = schedule stage of the previous slot.
+    in_flight: VecDeque<SlotSchedule>,
+    requests: RequestMatrix,
+}
+
+impl BulkPipeline {
+    /// Creates a pipeline for `n <= 16` hosts (the config packet's bit
+    /// vectors are 16 wide).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= 16, "Clint supports up to 16 hosts");
+        BulkPipeline {
+            n,
+            slot: 0,
+            scheduler: crate::precalc::ClintScheduler::new(n),
+            in_flight: VecDeque::new(),
+            requests: RequestMatrix::new(n),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current slot number.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Advances one slot.
+    ///
+    /// `configs[i]` is host `i`'s configuration packet, or `None` if it was
+    /// lost or failed its CRC check — the scheduler then treats the host as
+    /// requesting nothing and flags `crc_err` in its next grant packet
+    /// (Sec. 4.1's `CRCErr` field).
+    pub fn step(&mut self, configs: &[Option<ConfigPacket>]) -> SlotEvents {
+        self.step_with_status(configs, &vec![false; self.n])
+    }
+
+    /// Like [`step`](BulkPipeline::step), additionally reporting per-host
+    /// link errors detected since the last grant packet — they come back in
+    /// the grants' `linkErr` flag (Sec. 4.1).
+    pub fn step_with_status(
+        &mut self,
+        configs: &[Option<ConfigPacket>],
+        link_errors: &[bool],
+    ) -> SlotEvents {
+        assert_eq!(configs.len(), self.n, "one config slot per host");
+        assert_eq!(link_errors.len(), self.n, "one link status per host");
+
+        // Enable voting: hosts use ben/qen "to disable malfunctioning
+        // hosts". The switch ANDs the vectors from all intact configs — a
+        // host is forwarded from only while every peer agrees it is healthy.
+        // Lost configs vote all-enabled so a CRC error cannot disable the
+        // cluster.
+        let bulk_enable = configs
+            .iter()
+            .flatten()
+            .fold(0xFFFFu16, |acc, c| acc & c.ben);
+        let quick_enable = configs
+            .iter()
+            .flatten()
+            .fold(0xFFFFu16, |acc, c| acc & c.qen);
+
+        // Schedule stage: build request matrix + precalc claims from the
+        // configs that arrived intact, skipping bulk-disabled initiators.
+        let mut precalc = PrecalcSchedule::new(self.n);
+        for (i, cfg) in configs.iter().enumerate() {
+            let enabled = bulk_enable & (1 << i) != 0;
+            for j in 0..self.n {
+                self.requests
+                    .set(i, j, enabled && cfg.is_some_and(|c| c.requests(j)));
+                if enabled && cfg.is_some_and(|c| c.preclaims(j)) {
+                    precalc.claim(i, j);
+                }
+            }
+        }
+        let schedule = self.scheduler.schedule(&self.requests, &precalc);
+
+        let grants: Vec<GrantPacket> = (0..self.n)
+            .map(|i| {
+                // A grant packet reports at most one unicast target; a
+                // multicast owner knows its targets from its own precalc.
+                let gnt = schedule.lcf.output_for(i).or_else(|| {
+                    let t = schedule.precalc.targets_of(i);
+                    t.first().copied()
+                });
+                GrantPacket {
+                    node_id: i as u8,
+                    gnt: gnt.unwrap_or(0) as u8,
+                    gnt_val: gnt.is_some(),
+                    link_err: link_errors[i],
+                    crc_err: configs[i].is_none(),
+                }
+            })
+            .collect();
+
+        // Transfer stage: execute the schedule computed last slot.
+        let transfers: Vec<(usize, usize)> = self
+            .in_flight
+            .back()
+            .map(|s| {
+                let mut t: Vec<(usize, usize)> = s.precalc.connections().collect();
+                t.extend(s.lcf.pairs());
+                t.sort_unstable();
+                t
+            })
+            .unwrap_or_default();
+
+        // Acknowledge stage: ack the transfers of two slots ago.
+        let acks: Vec<(usize, usize)> = if self.in_flight.len() == 2 {
+            let s = self.in_flight.front().expect("len checked");
+            let mut a: Vec<(usize, usize)> = s.precalc.connections().map(|(i, j)| (j, i)).collect();
+            a.extend(s.lcf.pairs().map(|(i, j)| (j, i)));
+            a.sort_unstable();
+            a
+        } else {
+            Vec::new()
+        };
+
+        // Shift the pipeline.
+        if self.in_flight.len() == 2 {
+            self.in_flight.pop_front();
+        }
+        self.in_flight.push_back(schedule);
+
+        let events = SlotEvents {
+            slot: self.slot,
+            grants,
+            transfers,
+            acks,
+            quick_enable,
+        };
+        self.slot += 1;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(req: u16) -> Option<ConfigPacket> {
+        Some(ConfigPacket {
+            req,
+            ben: 0xFFFF,
+            qen: 0xFFFF,
+            ..Default::default()
+        })
+    }
+
+    /// The Fig. 5 timing example: bini0 requests btgt1 and bini1 requests
+    /// btgt0. Slot c exchanges cfg/gnt, slot c+1 carries breq(0,1) and
+    /// breq(1,0), slot c+2 returns back(1,0) and back(0,1).
+    #[test]
+    fn paper_figure5_timing() {
+        let mut pipe = BulkPipeline::new(2);
+        let configs = [cfg(0b10), cfg(0b01)]; // host0 -> tgt1, host1 -> tgt0
+
+        // Slot c: schedule stage only.
+        let c = pipe.step(&configs);
+        assert!(c.grants[0].gnt_val && c.grants[0].gnt == 1);
+        assert!(c.grants[1].gnt_val && c.grants[1].gnt == 0);
+        assert!(c.transfers.is_empty(), "transfer happens next slot");
+        assert!(c.acks.is_empty());
+
+        // Slot c+1: the granted requests traverse the switch.
+        let c1 = pipe.step(&[None, None]);
+        assert_eq!(c1.transfers, vec![(0, 1), (1, 0)]);
+        assert!(c1.acks.is_empty());
+
+        // Slot c+2: acknowledgments return (target, initiator).
+        let c2 = pipe.step(&[None, None]);
+        assert!(c2.transfers.is_empty());
+        assert_eq!(c2.acks, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn pipeline_sustains_one_schedule_per_slot() {
+        // Persistent cross traffic: after the 2-slot fill, every slot
+        // carries transfers and acks simultaneously (full overlap).
+        let mut pipe = BulkPipeline::new(2);
+        let configs = [cfg(0b10), cfg(0b01)];
+        pipe.step(&configs);
+        pipe.step(&configs);
+        for _ in 0..5 {
+            let ev = pipe.step(&configs);
+            assert_eq!(ev.transfers.len(), 2, "pipeline must stay full");
+            assert_eq!(ev.acks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn missing_config_flags_crc_err() {
+        let mut pipe = BulkPipeline::new(2);
+        let ev = pipe.step(&[cfg(0b10), None]);
+        assert!(!ev.grants[0].crc_err);
+        assert!(ev.grants[1].crc_err, "lost config must set CRCErr");
+        assert!(!ev.grants[1].gnt_val, "host without config gets no grant");
+    }
+
+    #[test]
+    fn precalc_claims_flow_through_pipeline() {
+        let mut pipe = BulkPipeline::new(4);
+        let mut configs: Vec<Option<ConfigPacket>> = vec![cfg(0); 4];
+        // Host 2 pre-claims targets 0 and 3 (multicast).
+        configs[2] = Some(ConfigPacket {
+            pre: 0b1001,
+            ben: 0xFFFF,
+            qen: 0xFFFF,
+            ..Default::default()
+        });
+        let c = pipe.step(&configs);
+        assert!(c.grants[2].gnt_val);
+        let c1 = pipe.step(&[None; 4]);
+        assert_eq!(c1.transfers, vec![(2, 0), (2, 3)]);
+    }
+
+    #[test]
+    fn slot_counter_advances() {
+        let mut pipe = BulkPipeline::new(2);
+        assert_eq!(pipe.slot(), 0);
+        pipe.step(&[None, None]);
+        pipe.step(&[None, None]);
+        assert_eq!(pipe.slot(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 16 hosts")]
+    fn too_many_hosts_panics() {
+        let _ = BulkPipeline::new(17);
+    }
+
+    #[test]
+    fn ben_vote_disables_a_malfunctioning_host() {
+        let mut pipe = BulkPipeline::new(4);
+        // Host 2 requests target 0; host 0 votes to disable host 2.
+        let mut configs: Vec<Option<ConfigPacket>> = vec![
+            Some(ConfigPacket {
+                ben: !(1 << 2),
+                qen: 0xFFFF,
+                ..Default::default()
+            }),
+            cfg(0),
+            Some(ConfigPacket {
+                req: 0b0001,
+                ben: 0xFFFF,
+                qen: 0xFFFF,
+                ..Default::default()
+            }),
+            cfg(0),
+        ];
+        let c = pipe.step(&configs);
+        assert!(!c.grants[2].gnt_val, "disabled host must get no grant");
+        let c1 = pipe.step(&[None; 4]);
+        assert!(c1.transfers.is_empty());
+
+        // Once the vote is withdrawn, the host is served again.
+        configs[0] = cfg(0);
+        let c = pipe.step(&configs);
+        assert!(c.grants[2].gnt_val);
+    }
+
+    #[test]
+    fn qen_vote_propagates_to_events() {
+        let mut pipe = BulkPipeline::new(4);
+        let configs: Vec<Option<ConfigPacket>> = vec![
+            Some(ConfigPacket {
+                ben: 0xFFFF,
+                qen: !(1 << 3),
+                ..Default::default()
+            }),
+            cfg(0),
+            None, // lost config must not disable anyone
+            cfg(0),
+        ];
+        let c = pipe.step(&configs);
+        assert_eq!(c.quick_enable & (1 << 3), 0, "host 3 quick-disabled");
+        assert_ne!(c.quick_enable & (1 << 2), 0, "lost config votes enabled");
+    }
+
+    #[test]
+    fn link_errors_reported_in_grants() {
+        let mut pipe = BulkPipeline::new(2);
+        let ev = pipe.step_with_status(&[cfg(0), cfg(0)], &[true, false]);
+        assert!(ev.grants[0].link_err);
+        assert!(!ev.grants[1].link_err);
+    }
+}

@@ -1,0 +1,343 @@
+//! The precalculated schedule (Sec. 4.3): pre-reserved connections for
+//! real-time and multicast traffic, integrity-checked ahead of regular LCF
+//! scheduling.
+
+use lcf_core::arbiter::select_rotating;
+use lcf_core::bitmat::BitMatrix;
+use lcf_core::lcf::CentralLcf;
+use lcf_core::matching::Matching;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+
+/// The precalculated claims of one scheduling cycle: `claim(i, j)` means
+/// initiator `i` pre-schedules a connection to target `j`. One initiator
+/// claiming several targets is a *multicast* connection (Fig. 7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrecalcSchedule {
+    claims: BitMatrix,
+}
+
+impl PrecalcSchedule {
+    /// An empty precalculated schedule for `n` ports.
+    pub fn new(n: usize) -> Self {
+        PrecalcSchedule {
+            claims: BitMatrix::new(n),
+        }
+    }
+
+    /// Builds from `(initiator, target)` claims.
+    pub fn from_claims(n: usize, claims: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut s = PrecalcSchedule::new(n);
+        for (i, j) in claims {
+            s.claim(i, j);
+        }
+        s
+    }
+
+    /// Builds from the per-host `pre` bit vectors of the config packets
+    /// (host `i`'s `pre` bit `j` claims target `j`).
+    pub fn from_pre_fields(n: usize, pre: &[u16]) -> Self {
+        assert!(n <= 16, "pre fields are 16-bit vectors");
+        assert_eq!(pre.len(), n, "one pre field per host");
+        let mut s = PrecalcSchedule::new(n);
+        for (i, &bits) in pre.iter().enumerate() {
+            for j in 0..n {
+                if bits & (1 << j) != 0 {
+                    s.claim(i, j);
+                }
+            }
+        }
+        s
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.claims.n()
+    }
+
+    /// Adds a claim.
+    pub fn claim(&mut self, initiator: usize, target: usize) {
+        self.claims.set(initiator, target, true);
+    }
+
+    /// Whether initiator `i` claims target `j`.
+    pub fn claims(&self, initiator: usize, target: usize) -> bool {
+        self.claims.get(initiator, target)
+    }
+
+    /// True if no claims are present.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// Stage 1 of Clint scheduling: the integrity check. The precalculated
+    /// schedule is assumed conflict-free but verified: if several initiators
+    /// claim the same target, one claim is accepted and the rest are
+    /// dropped (Sec. 4.3). `priority_start` anchors the rotating chain that
+    /// picks the surviving claim.
+    ///
+    /// Returns the validated multicast schedule and the number of dropped
+    /// claims.
+    pub fn validate(&self, priority_start: usize) -> (MulticastSchedule, usize) {
+        let n = self.n();
+        let mut owner = vec![None; n];
+        let mut dropped = 0;
+        for (j, slot) in owner.iter_mut().enumerate() {
+            let claimants = self.claims.col_count(j);
+            if claimants == 0 {
+                continue;
+            }
+            let winner = select_rotating(n, priority_start, |i| self.claims.get(i, j))
+                .expect("column has claimants");
+            *slot = Some(winner);
+            dropped += claimants - 1;
+        }
+        (MulticastSchedule { owner }, dropped)
+    }
+}
+
+/// A validated (conflict-free) set of pre-scheduled connections: each target
+/// has at most one owning initiator, but one initiator may own several
+/// targets (multicast).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MulticastSchedule {
+    owner: Vec<Option<usize>>,
+}
+
+impl MulticastSchedule {
+    /// An empty schedule over `n` ports.
+    pub fn empty(n: usize) -> Self {
+        MulticastSchedule {
+            owner: vec![None; n],
+        }
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The initiator owning target `j`, if pre-scheduled.
+    pub fn owner_of(&self, target: usize) -> Option<usize> {
+        self.owner[target]
+    }
+
+    /// All targets owned by initiator `i`.
+    pub fn targets_of(&self, initiator: usize) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&j| self.owner[j] == Some(initiator))
+            .collect()
+    }
+
+    /// True if initiator `i` owns more than one target this cycle.
+    pub fn is_multicast(&self, initiator: usize) -> bool {
+        self.targets_of(initiator).len() > 1
+    }
+
+    /// Number of pre-scheduled connections.
+    pub fn size(&self) -> usize {
+        self.owner.iter().flatten().count()
+    }
+
+    /// Iterates `(initiator, target)` connections.
+    pub fn connections(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &o)| o.map(|i| (i, j)))
+    }
+}
+
+/// The complete schedule of one bulk slot: validated precalculated
+/// connections plus the LCF-computed remainder.
+#[derive(Clone, Debug)]
+pub struct SlotSchedule {
+    /// Pre-scheduled (possibly multicast) connections.
+    pub precalc: MulticastSchedule,
+    /// Regular unicast connections computed by the LCF scheduler.
+    pub lcf: Matching,
+    /// Claims dropped by the integrity check.
+    pub dropped_claims: usize,
+}
+
+impl SlotSchedule {
+    /// The initiator transmitting to `target` this slot, from either stage.
+    pub fn source_for(&self, target: usize) -> Option<usize> {
+        self.precalc.owner_of(target).or(self.lcf.input_for(target))
+    }
+
+    /// Total scheduled connections.
+    pub fn size(&self) -> usize {
+        self.precalc.size() + self.lcf.size()
+    }
+}
+
+/// The two-stage Clint bulk scheduler: integrity-check the precalculated
+/// schedule, then run the central LCF scheduler over what remains.
+///
+/// "The precalculated schedule does not add any overhead in the sense that
+/// the existing logic of the LCF scheduler is used during the first stage."
+/// (Sec. 4.3) — here that reuse shows up as both stages sharing the same
+/// rotating priority machinery.
+#[derive(Clone, Debug)]
+pub struct ClintScheduler {
+    n: usize,
+    lcf: CentralLcf,
+    masked: RequestMatrix,
+}
+
+impl ClintScheduler {
+    /// Creates a scheduler for `n` ports (round-robin LCF variant, as in
+    /// the Clint implementation).
+    pub fn new(n: usize) -> Self {
+        ClintScheduler {
+            n,
+            lcf: CentralLcf::with_round_robin(n),
+            masked: RequestMatrix::new(n),
+        }
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Schedules one slot: validates `precalc`, removes pre-scheduled
+    /// initiators and targets from `requests`, and lets the LCF scheduler
+    /// fill the remainder.
+    pub fn schedule(
+        &mut self,
+        requests: &RequestMatrix,
+        precalc: &PrecalcSchedule,
+    ) -> SlotSchedule {
+        assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        assert_eq!(precalc.n(), self.n, "precalc size mismatch");
+
+        let (validated, dropped_claims) = precalc.validate(self.lcf.pointer().0);
+
+        // Stage 2: mask out everything stage 1 consumed. An initiator that
+        // owns a precalculated connection transmits that packet this slot
+        // and does not compete for further targets; claimed targets are
+        // likewise taken (this is the "conflict with round-robin positions"
+        // fairness caveat of Sec. 4.3 — the RR position may point at a
+        // masked cell and then protects nobody this cycle).
+        self.masked.copy_from(requests);
+        for (i, j) in validated.connections() {
+            self.masked.clear_requester(i);
+            self.masked.clear_resource(j);
+        }
+        let lcf = self.lcf.schedule(&self.masked);
+
+        SlotSchedule {
+            precalc: validated,
+            lcf,
+            dropped_claims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 7-style scenario: I3 pre-schedules a multicast to T1 and T3;
+    /// the LCF stage fills T0 and T2 from the regular requests.
+    #[test]
+    fn paper_figure7_multicast() {
+        let precalc = PrecalcSchedule::from_claims(4, [(3, 1), (3, 3)]);
+        let requests =
+            RequestMatrix::from_pairs(4, [(0, 0), (0, 2), (1, 0), (1, 1), (2, 2), (2, 3)]);
+        let mut sched = ClintScheduler::new(4);
+        let slot = sched.schedule(&requests, &precalc);
+
+        assert_eq!(slot.precalc.owner_of(1), Some(3));
+        assert_eq!(slot.precalc.owner_of(3), Some(3));
+        assert!(slot.precalc.is_multicast(3));
+        assert_eq!(slot.dropped_claims, 0);
+        // LCF fills the remaining targets T0 and T2 from I0, I1, I2.
+        assert!(slot.lcf.input_for(0).is_some());
+        assert!(slot.lcf.input_for(2).is_some());
+        // Claimed targets must not be double-booked by the LCF stage.
+        assert_eq!(slot.lcf.input_for(1), None);
+        assert_eq!(slot.lcf.input_for(3), None);
+        assert_eq!(slot.size(), 4);
+    }
+
+    #[test]
+    fn integrity_check_drops_conflicting_claims() {
+        // Three initiators all pre-claim target 2: one survives.
+        let precalc = PrecalcSchedule::from_claims(4, [(0, 2), (1, 2), (3, 2)]);
+        let (validated, dropped) = precalc.validate(0);
+        assert_eq!(dropped, 2);
+        assert_eq!(validated.size(), 1);
+        assert_eq!(
+            validated.owner_of(2),
+            Some(0),
+            "rotating chain from 0 picks I0"
+        );
+        // A different priority anchor picks a different survivor.
+        let (validated, _) = precalc.validate(1);
+        assert_eq!(validated.owner_of(2), Some(1));
+    }
+
+    #[test]
+    fn precalc_initiator_excluded_from_lcf_stage() {
+        // I0 pre-claims T0 but also requests T1; the LCF stage must not
+        // grant I0 anything (it transmits its precalculated packet).
+        let precalc = PrecalcSchedule::from_claims(4, [(0, 0)]);
+        let requests = RequestMatrix::from_pairs(4, [(0, 1), (1, 1)]);
+        let mut sched = ClintScheduler::new(4);
+        let slot = sched.schedule(&requests, &precalc);
+        assert_eq!(slot.lcf.output_for(0), None);
+        assert_eq!(slot.lcf.output_for(1), Some(1));
+        assert_eq!(slot.source_for(0), Some(0));
+        assert_eq!(slot.source_for(1), Some(1));
+    }
+
+    #[test]
+    fn empty_precalc_is_pure_lcf() {
+        let precalc = PrecalcSchedule::new(4);
+        assert!(precalc.is_empty());
+        let requests = RequestMatrix::full(4);
+        let mut sched = ClintScheduler::new(4);
+        let slot = sched.schedule(&requests, &precalc);
+        assert_eq!(slot.precalc.size(), 0);
+        assert_eq!(slot.lcf.size(), 4);
+    }
+
+    #[test]
+    fn pre_fields_roundtrip() {
+        let pre = [0b0000u16, 0b1010, 0b0000, 0b0001];
+        let s = PrecalcSchedule::from_pre_fields(4, &pre);
+        assert!(s.claims(1, 1));
+        assert!(s.claims(1, 3));
+        assert!(s.claims(3, 0));
+        assert!(!s.claims(0, 0));
+        let (validated, dropped) = s.validate(0);
+        assert_eq!(dropped, 0);
+        assert_eq!(validated.size(), 3);
+    }
+
+    #[test]
+    fn full_precalc_leaves_lcf_nothing() {
+        // Every target pre-claimed by a distinct initiator: stage 2 idles.
+        let precalc = PrecalcSchedule::from_claims(4, (0..4).map(|i| (i, (i + 1) % 4)));
+        let requests = RequestMatrix::full(4);
+        let mut sched = ClintScheduler::new(4);
+        let slot = sched.schedule(&requests, &precalc);
+        assert_eq!(slot.precalc.size(), 4);
+        assert_eq!(slot.lcf.size(), 0);
+        assert_eq!(slot.size(), 4);
+    }
+
+    #[test]
+    fn multicast_queries() {
+        let m = PrecalcSchedule::from_claims(8, [(2, 0), (2, 5), (2, 7), (4, 1)])
+            .validate(0)
+            .0;
+        assert_eq!(m.targets_of(2), vec![0, 5, 7]);
+        assert!(m.is_multicast(2));
+        assert!(!m.is_multicast(4));
+        assert_eq!(m.connections().count(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! The quick channel (Sec. 4): best-effort, collision-drop forwarding.
+//!
+//! "The quick channel takes a best-effort approach and packets are sent
+//! whenever they are available. If they collide in the switch, one packet
+//! wins and is forwarded while the other packets are dropped."
+
+use lcf_core::arbiter::RoundRobinPointer;
+
+/// Outcome of one quick-channel slot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuickOutcome {
+    /// `(src, dst)` packets that won their output and were forwarded.
+    pub forwarded: Vec<(usize, usize)>,
+    /// `(src, dst)` packets that collided and were dropped.
+    pub dropped: Vec<(usize, usize)>,
+}
+
+/// The quick switch: an unscheduled crossbar where per-target collisions
+/// are resolved by a rotating arbiter (so persistent colliders share the
+/// output instead of one host capturing it).
+#[derive(Clone, Debug)]
+pub struct QuickChannel {
+    n: usize,
+    winners: Vec<RoundRobinPointer>,
+}
+
+impl QuickChannel {
+    /// Creates a quick channel for `n` hosts.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "channel requires n > 0");
+        QuickChannel {
+            n,
+            winners: vec![RoundRobinPointer::new(n); n],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Transmits one slot's worth of packets. Each host may send at most
+    /// one packet (`sends[i]` is host `i`'s destination, if any). Collisions
+    /// at a target forward exactly one packet and drop the rest.
+    pub fn transmit(&mut self, sends: &[Option<usize>]) -> QuickOutcome {
+        assert_eq!(sends.len(), self.n, "one send slot per host");
+        let mut outcome = QuickOutcome::default();
+        for dst in 0..self.n {
+            let contenders: Vec<usize> = (0..self.n).filter(|&i| sends[i] == Some(dst)).collect();
+            if contenders.is_empty() {
+                continue;
+            }
+            let winner = self.winners[dst]
+                .select(|i| sends[i] == Some(dst))
+                .expect("contender exists");
+            self.winners[dst].advance_past(winner);
+            outcome.forwarded.push((winner, dst));
+            outcome.dropped.extend(
+                contenders
+                    .into_iter()
+                    .filter(|&i| i != winner)
+                    .map(|i| (i, dst)),
+            );
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_collision_everything_forwards() {
+        let mut ch = QuickChannel::new(4);
+        let out = ch.transmit(&[Some(1), Some(2), None, Some(0)]);
+        assert_eq!(out.forwarded, vec![(3, 0), (0, 1), (1, 2)]);
+        assert!(out.dropped.is_empty());
+    }
+
+    #[test]
+    fn collision_drops_all_but_one() {
+        let mut ch = QuickChannel::new(4);
+        let out = ch.transmit(&[Some(2), Some(2), Some(2), None]);
+        assert_eq!(out.forwarded.len(), 1);
+        assert_eq!(out.dropped.len(), 2);
+        assert_eq!(out.forwarded[0].1, 2);
+    }
+
+    #[test]
+    fn rotating_winner_shares_the_output() {
+        let mut ch = QuickChannel::new(4);
+        let sends = [Some(0), Some(0), None, None];
+        let mut wins = [0usize; 2];
+        for _ in 0..10 {
+            let out = ch.transmit(&sends);
+            wins[out.forwarded[0].0] += 1;
+        }
+        assert_eq!(wins, [5, 5], "persistent colliders must alternate");
+    }
+
+    #[test]
+    fn idle_slot() {
+        let mut ch = QuickChannel::new(3);
+        let out = ch.transmit(&[None, None, None]);
+        assert!(out.forwarded.is_empty() && out.dropped.is_empty());
+    }
+
+    #[test]
+    fn conservation() {
+        let mut ch = QuickChannel::new(8);
+        let sends: Vec<Option<usize>> = (0..8).map(|i| Some(i % 3)).collect();
+        let out = ch.transmit(&sends);
+        assert_eq!(out.forwarded.len() + out.dropped.len(), 8);
+        // One winner per contended target.
+        assert_eq!(out.forwarded.len(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the Clint packet codecs and the precalculated
+//! schedule integrity check.
+
+use lcf_clint::crc::{append_crc, check_crc, crc16};
+use lcf_clint::packets::{ConfigPacket, GrantPacket};
+use lcf_clint::precalc::PrecalcSchedule;
+use lcf_core::request::RequestMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CRC framing round-trips for arbitrary payloads.
+    #[test]
+    fn crc_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut frame = payload.clone();
+        append_crc(&mut frame);
+        prop_assert_eq!(check_crc(&frame), Some(payload.as_slice()));
+    }
+
+    /// Any single-bit corruption anywhere in a frame is detected.
+    #[test]
+    fn crc_detects_any_single_bit_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+        byte_pick in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = payload;
+        append_crc(&mut frame);
+        let byte = byte_pick as usize % frame.len();
+        frame[byte] ^= 1 << bit;
+        prop_assert!(check_crc(&frame).is_none());
+    }
+
+    /// CRC is a function of the data (equal data, equal CRC; this guards
+    /// against accidental statefulness in the implementation).
+    #[test]
+    fn crc_is_pure(data in proptest::collection::vec(any::<u8>(), 0..48)) {
+        prop_assert_eq!(crc16(&data), crc16(&data));
+    }
+
+    /// Config packets round-trip every field combination.
+    #[test]
+    fn config_packet_roundtrip(req in any::<u16>(), pre in any::<u16>(), ben in any::<u16>(), qen in any::<u16>()) {
+        let p = ConfigPacket { req, pre, ben, qen };
+        prop_assert_eq!(ConfigPacket::decode(&p.encode()), Ok(p));
+    }
+
+    /// Grant packets round-trip every legal field combination.
+    #[test]
+    fn grant_packet_roundtrip(
+        node_id in 0u8..16,
+        gnt in 0u8..16,
+        gnt_val in any::<bool>(),
+        link_err in any::<bool>(),
+        crc_err in any::<bool>(),
+    ) {
+        let p = GrantPacket { node_id, gnt, gnt_val, link_err, crc_err };
+        prop_assert_eq!(GrantPacket::decode(&p.encode()), Ok(p));
+    }
+
+    /// The integrity check always yields a conflict-free multicast schedule
+    /// (at most one owner per target), drops exactly the surplus claims,
+    /// and never invents a connection nobody claimed.
+    #[test]
+    fn integrity_check_invariants(
+        claims in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+        start in 0usize..8,
+    ) {
+        let pre = PrecalcSchedule::from_claims(8, claims.clone());
+        let (validated, dropped) = pre.validate(start);
+        // Each target has at most one owner, and that owner claimed it.
+        for j in 0..8 {
+            if let Some(i) = validated.owner_of(j) {
+                prop_assert!(pre.claims(i, j));
+            }
+        }
+        // Dropped = total distinct claims - surviving connections.
+        let distinct: std::collections::HashSet<(usize, usize)> = claims.into_iter().collect();
+        prop_assert_eq!(validated.size() + dropped, distinct.len());
+    }
+
+    /// The two-stage Clint scheduler never double-books a target between
+    /// the precalculated stage and the LCF stage.
+    #[test]
+    fn clint_schedule_never_double_books(
+        claims in proptest::collection::vec((0usize..8, 0usize..8), 0..8),
+        bits in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let pre = PrecalcSchedule::from_claims(8, claims);
+        let requests = RequestMatrix::from_fn(8, |i, j| bits[i * 8 + j]);
+        let mut sched = lcf_clint::precalc::ClintScheduler::new(8);
+        let slot = sched.schedule(&requests, &pre);
+        for j in 0..8 {
+            let pre_owner = slot.precalc.owner_of(j);
+            let lcf_owner = slot.lcf.input_for(j);
+            prop_assert!(
+                pre_owner.is_none() || lcf_owner.is_none(),
+                "target {} booked by both stages", j
+            );
+        }
+        // LCF grants must be real requests; precalc owners may be anything
+        // (claims are independent of the request vector).
+        for (i, j) in slot.lcf.pairs() {
+            prop_assert!(requests.get(i, j));
+        }
+    }
+}

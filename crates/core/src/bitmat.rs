@@ -1,0 +1,350 @@
+//! A dense square bit matrix backed by `u64` words.
+//!
+//! `BitMatrix` is the storage substrate for [`RequestMatrix`](crate::request::RequestMatrix).
+//! Rows are stored contiguously in row-major order, one or more 64-bit words
+//! per row, so the per-output scans that dominate scheduler inner loops touch
+//! a handful of cache lines and can use `trailing_zeros` to enumerate set bits
+//! without per-bit branching.
+
+/// A square `n × n` bit matrix.
+///
+/// All indices are checked; out-of-range accesses panic (these matrices are
+/// small and scheduler correctness matters more than the cost of a compare).
+///
+/// ```
+/// use lcf_core::bitmat::BitMatrix;
+///
+/// let mut m = BitMatrix::new(4);
+/// m.set(1, 2, true);
+/// m.set(1, 3, true);
+/// assert_eq!(m.row_count(1), 2);
+/// assert_eq!(m.row_ones(1).collect::<Vec<_>>(), vec![2, 3]);
+/// m.clear_row(1);
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `n × n` matrix.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "BitMatrix requires n > 0");
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            words: vec![0; words_per_row * n],
+        }
+    }
+
+    /// Builds a matrix from a predicate over `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = BitMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Side length of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> (usize, u64) {
+        assert!(row < self.n && col < self.n, "bit index out of range");
+        (row * self.words_per_row + col / 64, 1u64 << (col % 64))
+    }
+
+    /// Returns the bit at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        let (w, mask) = self.index(row, col);
+        self.words[w] & mask != 0
+    }
+
+    /// Sets the bit at `(row, col)` to `value`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        let (w, mask) = self.index(row, col);
+        if value {
+            self.words[w] |= mask;
+        } else {
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Number of set bits in `row`.
+    pub fn row_count(&self, row: usize) -> usize {
+        assert!(row < self.n, "row out of range");
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of set bits in `col`.
+    pub fn col_count(&self, col: usize) -> usize {
+        (0..self.n).filter(|&i| self.get(i, col)).count()
+    }
+
+    /// Total number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if `row` has at least one set bit.
+    pub fn row_any(&self, row: usize) -> bool {
+        assert!(row < self.n, "row out of range");
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .any(|&w| w != 0)
+    }
+
+    /// Clears every bit in `row`.
+    pub fn clear_row(&mut self, row: usize) {
+        assert!(row < self.n, "row out of range");
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row].fill(0);
+    }
+
+    /// Clears every bit in `col`.
+    pub fn clear_col(&mut self, col: usize) {
+        for row in 0..self.n {
+            self.set(row, col, false);
+        }
+    }
+
+    /// Clears the whole matrix.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the column indices of the set bits in `row`, ascending.
+    pub fn row_ones(&self, row: usize) -> RowOnes<'_> {
+        assert!(row < self.n, "row out of range");
+        let start = row * self.words_per_row;
+        RowOnes {
+            words: &self.words[start..start + self.words_per_row],
+            word_idx: 0,
+            current: if self.words_per_row > 0 {
+                self.words[start]
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Iterates over the row indices of the set bits in `col`, ascending.
+    pub fn col_ones(&self, col: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.get(i, col))
+    }
+
+    /// Iterates over all set `(row, col)` positions in row-major order.
+    pub fn ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| self.row_ones(i).map(move |j| (i, j)))
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Copies the contents of `other` into `self` without reallocating.
+    ///
+    /// Schedulers keep a workhorse copy of the request matrix that they
+    /// destructively update each slot; this keeps the hot path allocation-free.
+    ///
+    /// # Panics
+    /// Panics if the two matrices differ in size.
+    pub fn copy_from(&mut self, other: &BitMatrix) {
+        assert_eq!(self.n, other.n, "copy_from requires equal sizes");
+        self.words.copy_from_slice(&other.words);
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{}", if self.get(i, j) { '1' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over set-bit columns of one row; see [`BitMatrix::row_ones`].
+pub struct RowOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for RowOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_empty() {
+        let m = BitMatrix::new(7);
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.n(), 7);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert!(!m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn zero_size_panics() {
+        let _ = BitMatrix::new(0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::new(5);
+        m.set(2, 3, true);
+        assert!(m.get(2, 3));
+        assert!(!m.get(3, 2));
+        m.set(2, 3, false);
+        assert!(!m.get(2, 3));
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut m = BitMatrix::new(4);
+        m.set(1, 1, true);
+        m.set(1, 1, true);
+        assert_eq!(m.count(), 1);
+        m.set(1, 1, false);
+        m.set(1, 1, false);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn works_beyond_one_word() {
+        let n = 130; // three words per row
+        let mut m = BitMatrix::new(n);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(0, 127, true);
+        m.set(0, 129, true);
+        assert_eq!(m.row_count(0), 5);
+        let cols: Vec<usize> = m.row_ones(0).collect();
+        assert_eq!(cols, vec![0, 63, 64, 127, 129]);
+        assert_eq!(m.col_count(64), 1);
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let mut m = BitMatrix::new(4);
+        m.set(0, 1, true);
+        m.set(1, 1, true);
+        m.set(2, 1, true);
+        m.set(2, 3, true);
+        assert_eq!(m.row_count(2), 2);
+        assert_eq!(m.col_count(1), 3);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn clear_row_and_col() {
+        let mut m = BitMatrix::from_fn(6, |_, _| true);
+        assert_eq!(m.count(), 36);
+        m.clear_row(2);
+        assert_eq!(m.count(), 30);
+        assert!(!m.row_any(2));
+        m.clear_col(4);
+        assert_eq!(m.count(), 25);
+        assert_eq!(m.col_count(4), 0);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ones_iterates_row_major() {
+        let mut m = BitMatrix::new(3);
+        m.set(0, 2, true);
+        m.set(1, 0, true);
+        m.set(2, 1, true);
+        let positions: Vec<(usize, usize)> = m.ones().collect();
+        assert_eq!(positions, vec![(0, 2), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn col_ones_matches_get() {
+        let m = BitMatrix::from_fn(9, |i, j| (i + j) % 3 == 0);
+        for j in 0..9 {
+            let via_iter: Vec<usize> = m.col_ones(j).collect();
+            let via_get: Vec<usize> = (0..9).filter(|&i| m.get(i, j)).collect();
+            assert_eq!(via_iter, via_get);
+        }
+    }
+
+    #[test]
+    fn from_fn_diagonal() {
+        let m = BitMatrix::from_fn(8, |i, j| i == j);
+        assert_eq!(m.count(), 8);
+        for i in 0..8 {
+            assert_eq!(m.row_count(i), 1);
+            assert!(m.get(i, i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let m = BitMatrix::new(4);
+        let _ = m.get(4, 0);
+    }
+
+    #[test]
+    fn debug_format_is_grid() {
+        let mut m = BitMatrix::new(2);
+        m.set(0, 1, true);
+        let s = format!("{m:?}");
+        assert!(s.contains(".1"));
+        assert!(s.contains(".."));
+    }
+}

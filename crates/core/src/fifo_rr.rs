@@ -1,0 +1,147 @@
+//! FIFO input queuing with round-robin conflict resolution (`fifo`).
+//!
+//! The head-of-line-blocking baseline: each input has a *single* FIFO queue
+//! instead of virtual output queues, so the scheduler only ever sees the
+//! destination of the packet at the head of each queue. The well-known
+//! consequence (Karol, Hluchyj & Morgan) is a throughput ceiling of
+//! `2 - √2 ≈ 0.586` under uniform traffic, which is exactly the knee the
+//! paper's Fig. 12 shows for the `fifo` curve.
+
+use crate::arbiter::RoundRobinPointer;
+use crate::matching::Matching;
+use crate::request::RequestMatrix;
+use crate::traits::Scheduler;
+
+/// Round-robin arbitration over single-FIFO inputs.
+///
+/// The request matrix handed to this scheduler must contain **at most one
+/// request per row** — the head-of-line destination. (The simulator's FIFO
+/// queue model guarantees this; the scheduler asserts it.) Each output port
+/// grants one of its head-of-line requesters using a rotating pointer.
+#[derive(Clone, Debug)]
+pub struct FifoRr {
+    n: usize,
+    out_ptr: Vec<RoundRobinPointer>,
+}
+
+impl FifoRr {
+    /// Creates a FIFO round-robin scheduler for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "scheduler requires n > 0");
+        FifoRr {
+            n,
+            out_ptr: vec![RoundRobinPointer::new(n); n],
+        }
+    }
+
+    /// Current pointer position for output `j` (for tests/diagnostics).
+    pub fn pointer(&self, j: usize) -> usize {
+        self.out_ptr[j].pos()
+    }
+}
+
+impl Scheduler for FifoRr {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn num_ports(&self) -> usize {
+        self.n
+    }
+
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        let n = self.n;
+        debug_assert!(
+            (0..n).all(|i| requests.nrq(i) <= 1),
+            "FIFO scheduler expects at most one head-of-line request per input"
+        );
+        let mut matching = Matching::new(n);
+
+        // Each input has at most one request, so outputs can arbitrate
+        // independently: no input can be granted twice.
+        for j in 0..n {
+            if let Some(i) = self.out_ptr[j].select(|i| requests.get(i, j)) {
+                matching.connect(i, j);
+                self.out_ptr[j].advance_past(i);
+            }
+        }
+
+        matching
+    }
+
+    fn reset(&mut self) {
+        for p in &mut self.out_ptr {
+            *p = RoundRobinPointer::new(self.n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_requests() {
+        let mut s = FifoRr::new(4);
+        assert_eq!(s.schedule(&RequestMatrix::new(4)).size(), 0);
+    }
+
+    #[test]
+    fn disjoint_heads_all_granted() {
+        let requests = RequestMatrix::from_pairs(4, [(0, 2), (1, 0), (2, 3), (3, 1)]);
+        let mut s = FifoRr::new(4);
+        let m = s.schedule(&requests);
+        assert_eq!(m.size(), 4);
+        assert!(m.is_valid_for(&requests));
+    }
+
+    #[test]
+    fn contention_resolved_round_robin() {
+        // All four heads target output 0: wins must rotate 0,1,2,3,0,...
+        let requests = RequestMatrix::from_pairs(4, [(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let mut s = FifoRr::new(4);
+        let winners: Vec<usize> = (0..8)
+            .map(|_| s.schedule(&requests).input_for(0).unwrap())
+            .collect();
+        assert_eq!(winners, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pointer_only_moves_on_grant() {
+        let mut s = FifoRr::new(4);
+        s.schedule(&RequestMatrix::new(4));
+        assert_eq!(s.pointer(0), 0);
+        s.schedule(&RequestMatrix::from_pairs(4, [(2, 0)]));
+        assert_eq!(s.pointer(0), 3);
+    }
+
+    #[test]
+    fn matchings_always_valid() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut s = FifoRr::new(16);
+        for _ in 0..200 {
+            // At most one request per row, random head destinations.
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for i in 0..16 {
+                if rng.gen_bool(0.7) {
+                    pairs.push((i, rng.gen_range(0..16)));
+                }
+            }
+            let requests = RequestMatrix::from_pairs(16, pairs);
+            let m = s.schedule(&requests);
+            assert!(m.is_valid_for(&requests));
+            assert!(m.is_maximal_for(&requests));
+        }
+    }
+
+    #[test]
+    fn reset_restores_pointers() {
+        let mut s = FifoRr::new(4);
+        s.schedule(&RequestMatrix::from_pairs(4, [(1, 1)]));
+        s.reset();
+        assert_eq!(s.pointer(1), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Conflict-free input/output matchings — the output of a scheduler.
+
+use crate::request::RequestMatrix;
+
+/// A (partial) matching between `n` input ports and `n` output ports.
+///
+/// Corresponds to the schedule array `S` of the paper's Fig. 2 pseudocode:
+/// `S[i]` holds the output granted to input `i`, or nothing. A matching as
+/// constructed through [`Matching::connect`] is conflict-free by construction
+/// (connecting an already-used input or output panics).
+///
+/// ```
+/// use lcf_core::matching::Matching;
+///
+/// let mut m = Matching::new(4);
+/// m.connect(0, 2);
+/// m.connect(3, 1);
+/// assert_eq!(m.size(), 2);
+/// assert_eq!(m.output_for(0), Some(2));
+/// assert_eq!(m.input_for(1), Some(3));
+/// assert!(m.is_conflict_free());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matching {
+    input_to_output: Vec<Option<usize>>,
+    output_to_input: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Creates an empty matching over `n` ports.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Matching requires n > 0");
+        Matching {
+            input_to_output: vec![None; n],
+            output_to_input: vec![None; n],
+        }
+    }
+
+    /// Builds a matching from `(input, output)` pairs.
+    ///
+    /// # Panics
+    /// Panics on conflicting or out-of-range pairs.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut m = Matching::new(n);
+        for (i, j) in pairs {
+            m.connect(i, j);
+        }
+        m
+    }
+
+    /// Number of ports.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.input_to_output.len()
+    }
+
+    /// Connects input `input` to output `output`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is already matched or out of range.
+    pub fn connect(&mut self, input: usize, output: usize) {
+        assert!(
+            input < self.n() && output < self.n(),
+            "port index out of range"
+        );
+        assert!(
+            self.input_to_output[input].is_none(),
+            "input {input} already matched"
+        );
+        assert!(
+            self.output_to_input[output].is_none(),
+            "output {output} already matched"
+        );
+        self.input_to_output[input] = Some(output);
+        self.output_to_input[output] = Some(input);
+    }
+
+    /// The output matched to `input`, if any.
+    #[inline]
+    pub fn output_for(&self, input: usize) -> Option<usize> {
+        self.input_to_output[input]
+    }
+
+    /// The input matched to `output`, if any.
+    #[inline]
+    pub fn input_for(&self, output: usize) -> Option<usize> {
+        self.output_to_input[output]
+    }
+
+    /// True if `input` is matched.
+    #[inline]
+    pub fn input_matched(&self, input: usize) -> bool {
+        self.input_to_output[input].is_some()
+    }
+
+    /// True if `output` is matched.
+    #[inline]
+    pub fn output_matched(&self, output: usize) -> bool {
+        self.output_to_input[output].is_some()
+    }
+
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.input_to_output.iter().flatten().count()
+    }
+
+    /// Iterates over matched `(input, output)` pairs in input order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.input_to_output
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| o.map(|j| (i, j)))
+    }
+
+    /// Checks internal consistency: the two direction maps agree and no port
+    /// appears twice. Always true for matchings built through [`connect`],
+    /// asserted in debug-mode tests and property tests.
+    ///
+    /// [`connect`]: Matching::connect
+    pub fn is_conflict_free(&self) -> bool {
+        for (i, &o) in self.input_to_output.iter().enumerate() {
+            if let Some(j) = o {
+                if self.output_to_input[j] != Some(i) {
+                    return false;
+                }
+            }
+        }
+        for (j, &inp) in self.output_to_input.iter().enumerate() {
+            if let Some(i) = inp {
+                if self.input_to_output[i] != Some(j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if every matched pair corresponds to an actual request in `requests`
+    /// (a scheduler must never grant a connection nobody asked for).
+    pub fn is_valid_for(&self, requests: &RequestMatrix) -> bool {
+        self.n() == requests.n()
+            && self.is_conflict_free()
+            && self.pairs().all(|(i, j)| requests.get(i, j))
+    }
+
+    /// True if the matching is *maximal* with respect to `requests`: no
+    /// unmatched input still requests an unmatched output. All schedulers in
+    /// this crate except single-iteration iterative ones produce maximal
+    /// matchings on every cycle.
+    pub fn is_maximal_for(&self, requests: &RequestMatrix) -> bool {
+        for i in 0..self.n() {
+            if self.input_matched(i) {
+                continue;
+            }
+            for j in requests.row_ones(i) {
+                if !self.output_matched(j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::new(4);
+        assert_eq!(m.size(), 0);
+        assert!(m.is_conflict_free());
+        assert_eq!(m.pairs().count(), 0);
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let mut m = Matching::new(4);
+        m.connect(1, 3);
+        m.connect(2, 0);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.output_for(1), Some(3));
+        assert_eq!(m.input_for(3), Some(1));
+        assert_eq!(m.output_for(0), None);
+        assert!(m.input_matched(2));
+        assert!(!m.output_matched(1));
+        assert_eq!(m.pairs().collect::<Vec<_>>(), vec![(1, 3), (2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input 0 already matched")]
+    fn double_input_panics() {
+        let mut m = Matching::new(3);
+        m.connect(0, 1);
+        m.connect(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "output 1 already matched")]
+    fn double_output_panics() {
+        let mut m = Matching::new(3);
+        m.connect(0, 1);
+        m.connect(2, 1);
+    }
+
+    #[test]
+    fn validity_against_requests() {
+        let requests = RequestMatrix::from_pairs(3, [(0, 1), (1, 2)]);
+        let good = Matching::from_pairs(3, [(0, 1), (1, 2)]);
+        assert!(good.is_valid_for(&requests));
+        let ungranted = Matching::from_pairs(3, [(0, 2)]);
+        assert!(!ungranted.is_valid_for(&requests));
+    }
+
+    #[test]
+    fn maximality() {
+        let requests = RequestMatrix::from_pairs(3, [(0, 0), (1, 0), (2, 2)]);
+        // (1,0) and (2,2): input 0 requests only output 0 which is taken -> maximal.
+        let maximal = Matching::from_pairs(3, [(1, 0), (2, 2)]);
+        assert!(maximal.is_maximal_for(&requests));
+        // only (1,0): input 2 could still reach free output 2 -> not maximal.
+        let not_maximal = Matching::from_pairs(3, [(1, 0)]);
+        assert!(!not_maximal.is_maximal_for(&requests));
+    }
+
+    #[test]
+    fn full_permutation_is_maximal_for_full_requests() {
+        let requests = RequestMatrix::full(5);
+        let m = Matching::from_pairs(5, (0..5).map(|i| (i, (i + 2) % 5)));
+        assert_eq!(m.size(), 5);
+        assert!(m.is_valid_for(&requests));
+        assert!(m.is_maximal_for(&requests));
+    }
+
+    #[test]
+    fn size_mismatch_is_invalid() {
+        let requests = RequestMatrix::full(4);
+        let m = Matching::new(3);
+        assert!(!m.is_valid_for(&requests));
+    }
+}

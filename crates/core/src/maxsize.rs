@@ -1,0 +1,247 @@
+//! Maximum-size bipartite matching via Hopcroft–Karp.
+//!
+//! The paper's Sec. 1 discusses maximum-size matching as the throughput
+//! upper bound that is "too slow for high-speed networking and leads to
+//! starvation". We implement it as a *reference*: the EXT-1 experiment
+//! measures how close each practical scheduler's matching size comes to the
+//! true maximum, and the property-test suite uses it as an oracle.
+//!
+//! Complexity: `O(E · √V)` (Hopcroft & Karp 1973, reference \[7\] of the paper).
+
+use crate::matching::Matching;
+use crate::request::RequestMatrix;
+use crate::traits::Scheduler;
+
+const INF: usize = usize::MAX;
+const NIL: usize = usize::MAX;
+
+/// Hopcroft–Karp maximum-size matcher.
+///
+/// ```
+/// use lcf_core::prelude::*;
+///
+/// // A greedy matcher might take (0,0) and strand input 1; maximum is 2.
+/// let requests = RequestMatrix::from_pairs(2, [(0, 0), (0, 1), (1, 0)]);
+/// let mut hk = MaxSizeMatcher::new(2);
+/// assert_eq!(hk.max_matching_size(&requests), 2);
+/// ```
+///
+/// Stateless between slots (no fairness mechanism whatsoever — the paper's
+/// point is precisely that this *cannot* be used as a switch scheduler
+/// as-is), but implements [`Scheduler`] so it can be dropped into the same
+/// harness as the practical algorithms.
+#[derive(Clone, Debug)]
+pub struct MaxSizeMatcher {
+    n: usize,
+    // Scratch buffers reused across calls.
+    match_input: Vec<usize>,
+    match_output: Vec<usize>,
+    dist: Vec<usize>,
+    queue: Vec<usize>,
+}
+
+impl MaxSizeMatcher {
+    /// Creates a matcher for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matcher requires n > 0");
+        MaxSizeMatcher {
+            n,
+            match_input: vec![NIL; n],
+            match_output: vec![NIL; n],
+            dist: vec![INF; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    /// Size of a maximum matching for `requests` (without materializing it).
+    pub fn max_matching_size(&mut self, requests: &RequestMatrix) -> usize {
+        self.run(requests)
+    }
+
+    fn run(&mut self, requests: &RequestMatrix) -> usize {
+        assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        let n = self.n;
+        self.match_input.fill(NIL);
+        self.match_output.fill(NIL);
+        let mut matching_size = 0;
+
+        // Repeat BFS phase + DFS augmentation until no augmenting path exists.
+        loop {
+            // BFS from all free inputs to establish layered distances.
+            self.queue.clear();
+            for i in 0..n {
+                if self.match_input[i] == NIL {
+                    self.dist[i] = 0;
+                    self.queue.push(i);
+                } else {
+                    self.dist[i] = INF;
+                }
+            }
+            let mut found_augmenting = false;
+            let mut head = 0;
+            while head < self.queue.len() {
+                let i = self.queue[head];
+                head += 1;
+                for j in requests.row_ones(i) {
+                    let next = self.match_output[j];
+                    if next == NIL {
+                        found_augmenting = true;
+                    } else if self.dist[next] == INF {
+                        self.dist[next] = self.dist[i] + 1;
+                        self.queue.push(next);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+
+            // DFS along layered edges to augment vertex-disjoint paths.
+            for i in 0..n {
+                if self.match_input[i] == NIL && self.dfs(i, requests) {
+                    matching_size += 1;
+                }
+            }
+        }
+
+        matching_size
+    }
+
+    fn dfs(&mut self, i: usize, requests: &RequestMatrix) -> bool {
+        // Iterative DFS would obscure the algorithm; n is small (<= a few
+        // thousand ports) and path length is bounded by n, so recursion is safe.
+        let n = self.n;
+        for j in 0..n {
+            if !requests.get(i, j) {
+                continue;
+            }
+            let next = self.match_output[j];
+            if next == NIL || (self.dist[next] == self.dist[i] + 1 && self.dfs(next, requests)) {
+                self.match_input[i] = j;
+                self.match_output[j] = i;
+                return true;
+            }
+        }
+        self.dist[i] = INF;
+        false
+    }
+}
+
+impl Scheduler for MaxSizeMatcher {
+    fn name(&self) -> &'static str {
+        "maxsize"
+    }
+
+    fn num_ports(&self) -> usize {
+        self.n
+    }
+
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        self.run(requests);
+        let mut m = Matching::new(self.n);
+        for i in 0..self.n {
+            if self.match_input[i] != NIL {
+                m.connect(i, self.match_input[i]);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_requests() {
+        let mut mx = MaxSizeMatcher::new(4);
+        assert_eq!(mx.max_matching_size(&RequestMatrix::new(4)), 0);
+    }
+
+    #[test]
+    fn full_matrix_perfect_matching() {
+        let mut mx = MaxSizeMatcher::new(8);
+        let requests = RequestMatrix::full(8);
+        assert_eq!(mx.max_matching_size(&requests), 8);
+        let m = mx.schedule(&requests);
+        assert_eq!(m.size(), 8);
+        assert!(m.is_valid_for(&requests));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let requests = RequestMatrix::from_fn(6, |i, j| i == j);
+        let mut mx = MaxSizeMatcher::new(6);
+        assert_eq!(mx.max_matching_size(&requests), 6);
+    }
+
+    #[test]
+    fn finds_augmenting_path_greedy_misses() {
+        // Greedy could match (0,0) and strand input 1; maximum is 2:
+        // input 0 -> output 1, input 1 -> output 0.
+        let requests = RequestMatrix::from_pairs(2, [(0, 0), (0, 1), (1, 0)]);
+        let mut mx = MaxSizeMatcher::new(2);
+        let m = mx.schedule(&requests);
+        assert_eq!(m.size(), 2);
+        assert!(m.is_valid_for(&requests));
+    }
+
+    #[test]
+    fn star_pattern_maximum_is_one_plus() {
+        // Inputs 1..4 all request only output 0; input 0 requests everything.
+        // Maximum matching: one of 1..4 gets output 0, input 0 gets another
+        // output -> size 2.
+        let mut pairs = vec![(1, 0), (2, 0), (3, 0), (4, 0)];
+        pairs.extend((0..5).map(|j| (0, j)));
+        let requests = RequestMatrix::from_pairs(5, pairs);
+        let mut mx = MaxSizeMatcher::new(5);
+        assert_eq!(mx.max_matching_size(&requests), 2);
+    }
+
+    #[test]
+    fn figure3_example_maximum_is_four() {
+        let requests = RequestMatrix::from_pairs(
+            4,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 2),
+                (1, 3),
+                (2, 0),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+            ],
+        );
+        let mut mx = MaxSizeMatcher::new(4);
+        assert_eq!(mx.max_matching_size(&requests), 4);
+    }
+
+    #[test]
+    fn never_smaller_than_any_valid_matching() {
+        use crate::lcf::CentralLcf;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut mx = MaxSizeMatcher::new(12);
+        let mut lcf = CentralLcf::with_round_robin(12);
+        for _ in 0..100 {
+            let requests = RequestMatrix::random(12, 0.3, &mut rng);
+            let upper = mx.max_matching_size(&requests);
+            let practical = lcf.schedule(&requests).size();
+            assert!(
+                practical <= upper,
+                "maximum-size matching is an upper bound"
+            );
+        }
+    }
+
+    #[test]
+    fn reusable_across_calls() {
+        let mut mx = MaxSizeMatcher::new(4);
+        assert_eq!(mx.max_matching_size(&RequestMatrix::full(4)), 4);
+        assert_eq!(mx.max_matching_size(&RequestMatrix::new(4)), 0);
+        assert_eq!(mx.max_matching_size(&RequestMatrix::full(4)), 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Name-based scheduler construction for experiment harnesses.
+
+use crate::fifo_rr::FifoRr;
+use crate::islip::Islip;
+use crate::lcf::{CentralLcf, DistributedLcf};
+use crate::maxsize::MaxSizeMatcher;
+use crate::pim::Pim;
+use crate::traits::Scheduler;
+use crate::wavefront::Wavefront;
+
+/// The schedulers evaluated in the paper's Fig. 12, plus the maximum-size
+/// reference. (`outbuf` is a switch architecture, not a scheduler, and lives
+/// in `lcf-sim`.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SchedulerKind {
+    Fifo,
+    LcfCentral,
+    LcfCentralRr,
+    LcfDist,
+    LcfDistRr,
+    Pim,
+    Islip,
+    Wavefront,
+    MaxSize,
+}
+
+impl SchedulerKind {
+    /// All kinds, in the order the paper's Fig. 12 legend lists them
+    /// (best-documented first), with the reference matcher last.
+    pub const ALL: [SchedulerKind; 9] = [
+        SchedulerKind::LcfCentral,
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::LcfDistRr,
+        SchedulerKind::LcfDist,
+        SchedulerKind::Pim,
+        SchedulerKind::Islip,
+        SchedulerKind::Wavefront,
+        SchedulerKind::Fifo,
+        SchedulerKind::MaxSize,
+    ];
+
+    /// The seven VOQ-based practical schedulers of Fig. 12 (excludes `fifo`,
+    /// which needs the single-FIFO queue model, and the reference matcher).
+    pub const VOQ_PRACTICAL: [SchedulerKind; 7] = [
+        SchedulerKind::LcfCentral,
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::LcfDistRr,
+        SchedulerKind::LcfDist,
+        SchedulerKind::Pim,
+        SchedulerKind::Islip,
+        SchedulerKind::Wavefront,
+    ];
+
+    /// The paper's name for this scheduler (Fig. 12 legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::LcfCentral => "lcf_central",
+            SchedulerKind::LcfCentralRr => "lcf_central_rr",
+            SchedulerKind::LcfDist => "lcf_dist",
+            SchedulerKind::LcfDistRr => "lcf_dist_rr",
+            SchedulerKind::Pim => "pim",
+            SchedulerKind::Islip => "islip",
+            SchedulerKind::Wavefront => "wfront",
+            SchedulerKind::MaxSize => "maxsize",
+        }
+    }
+
+    /// Parses a paper name back into a kind.
+    pub fn from_name(name: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// True for the iterative schedulers whose `iterations` parameter the
+    /// paper pins to 4 in the Fig. 12 experiment.
+    pub fn is_iterative(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::LcfDist
+                | SchedulerKind::LcfDistRr
+                | SchedulerKind::Pim
+                | SchedulerKind::Islip
+        )
+    }
+
+    /// True if the scheduler expects single-FIFO (head-of-line only) inputs.
+    pub fn wants_fifo_queues(self) -> bool {
+        self == SchedulerKind::Fifo
+    }
+
+    /// Builds a scheduler instance.
+    ///
+    /// * `iterations` — budget for the iterative schedulers (ignored by the
+    ///   others).
+    /// * `seed` — RNG seed (used by PIM only).
+    pub fn build(self, n: usize, iterations: usize, seed: u64) -> Box<dyn Scheduler + Send> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoRr::new(n)),
+            SchedulerKind::LcfCentral => Box::new(CentralLcf::pure(n)),
+            SchedulerKind::LcfCentralRr => Box::new(CentralLcf::with_round_robin(n)),
+            SchedulerKind::LcfDist => Box::new(DistributedLcf::pure(n, iterations)),
+            SchedulerKind::LcfDistRr => Box::new(DistributedLcf::with_round_robin(n, iterations)),
+            SchedulerKind::Pim => Box::new(Pim::new(n, iterations, seed)),
+            SchedulerKind::Islip => Box::new(Islip::new(n, iterations)),
+            SchedulerKind::Wavefront => Box::new(Wavefront::new(n)),
+            SchedulerKind::MaxSize => Box::new(MaxSizeMatcher::new(n)),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestMatrix;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::from_name("outbuf"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_scheduler() {
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(8, 4, 1);
+            assert_eq!(s.num_ports(), 8);
+            assert_eq!(s.name(), kind.name());
+            // Single-request matrices satisfy even the FIFO precondition.
+            let requests = RequestMatrix::from_pairs(8, [(3, 5)]);
+            let m = s.schedule(&requests);
+            assert_eq!(
+                m.output_for(3),
+                Some(5),
+                "{kind} must grant the only request"
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_flags() {
+        assert!(SchedulerKind::Pim.is_iterative());
+        assert!(SchedulerKind::LcfDist.is_iterative());
+        assert!(!SchedulerKind::LcfCentral.is_iterative());
+        assert!(!SchedulerKind::Wavefront.is_iterative());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", SchedulerKind::LcfCentralRr), "lcf_central_rr");
+    }
+}

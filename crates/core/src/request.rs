@@ -1,0 +1,223 @@
+//! The request matrix presented to a scheduler each time slot.
+
+use crate::bitmat::BitMatrix;
+use rand::Rng;
+
+/// An `n × n` request matrix: `get(i, j)` is true iff input (requester) `i`
+/// has at least one packet queued for output (resource) `j`.
+///
+/// This is the `R` array of the paper's Fig. 2 pseudocode. In the switch
+/// model it is derived from VOQ occupancy: one bit per virtual output queue.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RequestMatrix {
+    bits: BitMatrix,
+}
+
+impl RequestMatrix {
+    /// Creates an empty request matrix for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        RequestMatrix {
+            bits: BitMatrix::new(n),
+        }
+    }
+
+    /// Builds a matrix from `(requester, resource)` pairs.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut m = RequestMatrix::new(n);
+        for (i, j) in pairs {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from a predicate over `(requester, resource)`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize, usize) -> bool) -> Self {
+        RequestMatrix {
+            bits: BitMatrix::from_fn(n, f),
+        }
+    }
+
+    /// A matrix with every request set (worst-case scheduler input).
+    pub fn full(n: usize) -> Self {
+        RequestMatrix::from_fn(n, |_, _| true)
+    }
+
+    /// A random matrix where each request is set independently with
+    /// probability `density`. Useful for benchmarks and property tests.
+    pub fn random(n: usize, density: f64, rng: &mut impl Rng) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+        RequestMatrix::from_fn(n, |_, _| rng.gen_bool(density))
+    }
+
+    /// Number of ports.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.bits.n()
+    }
+
+    /// Whether requester `i` requests resource `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.bits.get(i, j)
+    }
+
+    /// Sets or clears request `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        self.bits.set(i, j, value);
+    }
+
+    /// NRQ of the paper: the number of resources requester `i` requests.
+    #[inline]
+    pub fn nrq(&self, i: usize) -> usize {
+        self.bits.row_count(i)
+    }
+
+    /// The number of requesters requesting resource `j` (the distributed
+    /// scheduler's NGT before any matches are removed).
+    #[inline]
+    pub fn ngt(&self, j: usize) -> usize {
+        self.bits.col_count(j)
+    }
+
+    /// Total number of requests.
+    pub fn count(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// True if nobody requests anything.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// True if requester `i` has at least one request.
+    pub fn requester_active(&self, i: usize) -> bool {
+        self.bits.row_any(i)
+    }
+
+    /// Iterates over the resources requested by requester `i`, ascending.
+    pub fn row_ones(&self, i: usize) -> crate::bitmat::RowOnes<'_> {
+        self.bits.row_ones(i)
+    }
+
+    /// Iterates over the requesters of resource `j`, ascending.
+    pub fn col_ones(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
+        self.bits.col_ones(j)
+    }
+
+    /// Iterates over all `(requester, resource)` requests in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.bits.ones()
+    }
+
+    /// Removes every request issued by requester `i`.
+    pub fn clear_requester(&mut self, i: usize) {
+        self.bits.clear_row(i);
+    }
+
+    /// Removes every request for resource `j`.
+    pub fn clear_resource(&mut self, j: usize) {
+        self.bits.clear_col(j);
+    }
+
+    /// Access to the underlying bit matrix.
+    pub fn bits(&self) -> &BitMatrix {
+        &self.bits
+    }
+
+    /// Copies `other` into `self` without reallocating (see
+    /// [`BitMatrix::copy_from`]).
+    pub fn copy_from(&mut self, other: &RequestMatrix) {
+        self.bits.copy_from(&other.bits);
+    }
+}
+
+impl From<BitMatrix> for RequestMatrix {
+    fn from(bits: BitMatrix) -> Self {
+        RequestMatrix { bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_pairs_and_counts() {
+        let m = RequestMatrix::from_pairs(4, [(0, 1), (0, 2), (1, 0), (3, 1)]);
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.nrq(0), 2);
+        assert_eq!(m.nrq(2), 0);
+        assert_eq!(m.ngt(1), 2);
+        assert!(m.requester_active(0));
+        assert!(!m.requester_active(2));
+    }
+
+    #[test]
+    fn paper_figure3_nrq_column() {
+        // Fig. 3 step 1: NRQ = [2, 3, 3, 1].
+        let m = RequestMatrix::from_pairs(
+            4,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 2),
+                (1, 3),
+                (2, 0),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+            ],
+        );
+        assert_eq!(
+            (0..4).map(|i| m.nrq(i)).collect::<Vec<_>>(),
+            vec![2, 3, 3, 1]
+        );
+    }
+
+    #[test]
+    fn full_matrix() {
+        let m = RequestMatrix::full(5);
+        assert_eq!(m.count(), 25);
+        assert_eq!(m.nrq(3), 5);
+        assert_eq!(m.ngt(4), 5);
+    }
+
+    #[test]
+    fn clear_requester_and_resource() {
+        let mut m = RequestMatrix::full(4);
+        m.clear_requester(1);
+        assert_eq!(m.nrq(1), 0);
+        assert_eq!(m.count(), 12);
+        m.clear_resource(2);
+        assert_eq!(m.ngt(2), 0);
+        assert_eq!(m.count(), 9);
+    }
+
+    #[test]
+    fn random_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty = RequestMatrix::random(8, 0.0, &mut rng);
+        assert!(empty.is_empty());
+        let full = RequestMatrix::random(8, 1.0, &mut rng);
+        assert_eq!(full.count(), 64);
+    }
+
+    #[test]
+    fn random_density_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = RequestMatrix::random(64, 0.5, &mut rng);
+        let density = m.count() as f64 / (64.0 * 64.0);
+        assert!((0.4..0.6).contains(&density), "density was {density}");
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let pairs = vec![(0, 3), (2, 1), (3, 0)];
+        let m = RequestMatrix::from_pairs(4, pairs.clone());
+        assert_eq!(m.pairs().collect::<Vec<_>>(), pairs);
+    }
+}

@@ -1,0 +1,64 @@
+//! The scheduler interface.
+
+use crate::matching::Matching;
+use crate::request::RequestMatrix;
+
+/// A switch scheduler: computes a conflict-free matching for one time slot.
+///
+/// Schedulers are stateful — round-robin pointers, diagonals and RNGs evolve
+/// from slot to slot — which is why [`schedule`](Scheduler::schedule) takes
+/// `&mut self`. Every implementation guarantees:
+///
+/// * the returned matching [`is_valid_for`](Matching::is_valid_for) the
+///   request matrix (only requested pairs are connected, no conflicts), and
+/// * `requests.n() == self.num_ports()` is required (checked with an assert).
+pub trait Scheduler {
+    /// Short identifier matching the names used in the paper's Fig. 12
+    /// legend (`lcf_central`, `pim`, `islip`, …).
+    fn name(&self) -> &'static str;
+
+    /// Number of switch ports this scheduler instance was built for.
+    fn num_ports(&self) -> usize;
+
+    /// Computes the matching for the next time slot and advances internal
+    /// round-robin state.
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching;
+
+    /// Resets all internal state (pointers, RNG is *not* reseeded).
+    fn reset(&mut self) {}
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+
+    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+        (**self).schedule(requests)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcf::CentralLcf;
+
+    #[test]
+    fn boxed_scheduler_delegates() {
+        let mut boxed: Box<dyn Scheduler> = Box::new(CentralLcf::with_round_robin(4));
+        assert_eq!(boxed.num_ports(), 4);
+        assert_eq!(boxed.name(), "lcf_central_rr");
+        let requests = RequestMatrix::from_pairs(4, [(0, 0)]);
+        let m = boxed.schedule(&requests);
+        assert_eq!(m.size(), 1);
+        boxed.reset();
+    }
+}

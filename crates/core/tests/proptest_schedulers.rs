@@ -1,0 +1,159 @@
+//! Property-based tests over all schedulers: every matching a scheduler
+//! emits, on any request matrix, must satisfy the scheduler contract.
+
+use lcf_core::maxsize::MaxSizeMatcher;
+use lcf_core::registry::SchedulerKind;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary request matrix of side `n` (bit per cell).
+fn request_matrix(n: usize) -> impl Strategy<Value = RequestMatrix> {
+    proptest::collection::vec(any::<bool>(), n * n)
+        .prop_map(move |bits| RequestMatrix::from_fn(n, |i, j| bits[i * n + j]))
+}
+
+/// Strategy: a request matrix with at most one request per row (the FIFO
+/// scheduler's precondition).
+fn hol_matrix(n: usize) -> impl Strategy<Value = RequestMatrix> {
+    proptest::collection::vec(proptest::option::of(0..n), n).prop_map(move |heads| {
+        let pairs: Vec<(usize, usize)> = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.map(|j| (i, j)))
+            .collect();
+        RequestMatrix::from_pairs(n, pairs)
+    })
+}
+
+/// Kinds that produce maximal matchings when given `n` iterations.
+const MAXIMAL_KINDS: [SchedulerKind; 8] = [
+    SchedulerKind::LcfCentral,
+    SchedulerKind::LcfCentralRr,
+    SchedulerKind::LcfDist,
+    SchedulerKind::LcfDistRr,
+    SchedulerKind::Pim,
+    SchedulerKind::Islip,
+    SchedulerKind::Wavefront,
+    SchedulerKind::MaxSize,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Validity: only requested pairs are connected, without conflicts —
+    /// for every scheduler, over multiple consecutive slots (state evolves).
+    #[test]
+    fn all_schedulers_emit_valid_matchings(
+        matrices in proptest::collection::vec(request_matrix(9), 1..5),
+        seed in any::<u64>(),
+    ) {
+        for kind in MAXIMAL_KINDS {
+            let mut sched = kind.build(9, 4, seed);
+            for requests in &matrices {
+                let m = sched.schedule(requests);
+                prop_assert!(m.is_valid_for(requests), "{kind} produced invalid matching");
+            }
+        }
+    }
+
+    /// Maximality: with an n-iteration budget, every scheduler's matching
+    /// is maximal (no unmatched input still requests an unmatched output).
+    #[test]
+    fn maximality_with_full_iteration_budget(
+        requests in request_matrix(8),
+        seed in any::<u64>(),
+    ) {
+        for kind in MAXIMAL_KINDS {
+            let mut sched = kind.build(8, 8, seed);
+            let m = sched.schedule(&requests);
+            prop_assert!(m.is_maximal_for(&requests), "{kind} left an augmentable pair");
+        }
+    }
+
+    /// Upper bound: no scheduler ever beats the Hopcroft–Karp maximum.
+    #[test]
+    fn never_exceeds_maximum_matching(
+        requests in request_matrix(10),
+        seed in any::<u64>(),
+    ) {
+        let mut oracle = MaxSizeMatcher::new(10);
+        let max = oracle.max_matching_size(&requests);
+        for kind in MAXIMAL_KINDS {
+            let mut sched = kind.build(10, 4, seed);
+            prop_assert!(sched.schedule(&requests).size() <= max);
+        }
+    }
+
+    /// Hopcroft–Karp really is maximum: a maximal matching is at most a
+    /// factor 2 smaller, and the maximum is at least as large as any other
+    /// scheduler's result.
+    #[test]
+    fn hopcroft_karp_dominates_and_halves(
+        requests in request_matrix(10),
+        seed in any::<u64>(),
+    ) {
+        let mut oracle = MaxSizeMatcher::new(10);
+        let max = oracle.max_matching_size(&requests);
+        // Maximal matching (greedy LCF) is a 2-approximation of maximum.
+        let mut lcf = SchedulerKind::LcfCentral.build(10, 4, seed);
+        let got = lcf.schedule(&requests).size();
+        prop_assert!(2 * got >= max, "maximal matching must be >= max/2 ({got} vs {max})");
+    }
+
+    /// The FIFO scheduler handles every head-of-line pattern and matches
+    /// every input whose head output is uncontended.
+    #[test]
+    fn fifo_scheduler_contract(requests in hol_matrix(8)) {
+        let mut sched = SchedulerKind::Fifo.build(8, 1, 0);
+        let m = sched.schedule(&requests);
+        prop_assert!(m.is_valid_for(&requests));
+        prop_assert!(m.is_maximal_for(&requests));
+        // Exactly one grant per requested output.
+        for j in 0..8 {
+            let contenders = requests.ngt(j);
+            let granted = usize::from(m.output_matched(j));
+            prop_assert_eq!(granted, usize::from(contenders > 0));
+        }
+    }
+
+    /// Determinism: rebuilding a scheduler with the same seed and replaying
+    /// the same inputs yields identical matchings (the reproducibility
+    /// contract every experiment relies on).
+    #[test]
+    fn schedulers_are_deterministic(
+        matrices in proptest::collection::vec(request_matrix(8), 1..4),
+        seed in any::<u64>(),
+    ) {
+        for kind in MAXIMAL_KINDS {
+            let mut a = kind.build(8, 4, seed);
+            let mut b = kind.build(8, 4, seed);
+            for requests in &matrices {
+                let ma: Vec<_> = a.schedule(requests).pairs().collect();
+                let mb: Vec<_> = b.schedule(requests).pairs().collect();
+                prop_assert_eq!(ma, mb, "{} diverged", kind.name());
+            }
+        }
+    }
+
+    /// The central LCF priority rule: on a fresh scheduler, a requester
+    /// with a single choice is never displaced by a multi-choice requester
+    /// unless the round-robin position interferes.
+    #[test]
+    fn pure_lcf_single_choice_requesters_win(
+        competitors in proptest::collection::vec(0usize..6, 0..6),
+    ) {
+        // Requester 0 requests only target 0; requesters 1.. request target
+        // 0 plus extra targets (always >= 2 requests).
+        let mut pairs = vec![(0usize, 0usize)];
+        for (idx, &extra) in competitors.iter().enumerate() {
+            let i = idx + 1;
+            pairs.push((i, 0));
+            pairs.push((i, 1 + (extra % 5)));
+        }
+        let requests = RequestMatrix::from_pairs(7, pairs);
+        let mut sched = lcf_core::lcf::CentralLcf::pure(7);
+        let m = sched.schedule(&requests);
+        prop_assert_eq!(m.output_for(0), Some(0), "single-choice requester lost target 0");
+    }
+}

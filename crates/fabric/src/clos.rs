@@ -1,0 +1,398 @@
+//! Three-stage Clos networks `C(m, k, r)` (Clos 1953, reference \[2\] of the
+//! paper).
+//!
+//! An `n = r·k` port Clos network has `r` ingress switches (`k × m`), `m`
+//! middle switches (`r × r`) and `r` egress switches (`m × k`). It is
+//! *rearrangeably non-blocking* for `m ≥ k`: any conflict-free matching of
+//! external ports can be routed without internal collisions, possibly
+//! rearranging existing routes — which is fine for a slot-scheduled switch
+//! that recomputes the whole configuration every slot. It is *strictly*
+//! non-blocking for `m ≥ 2k − 1`.
+//!
+//! Routing is bipartite edge coloring: each matched pair becomes an edge
+//! between its ingress and egress switch, and a color (= middle switch)
+//! assignment with no repeated color at any switch is exactly a
+//! collision-free route. The classic König/alternating-path algorithm needs
+//! only `Δ ≤ k ≤ m` colors, proving the non-blocking claim constructively.
+
+use lcf_core::matching::Matching;
+
+/// Routing failure: the network is under-provisioned (`m < k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosBlocked {
+    /// The middle-stage count that would have been needed.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for ClosBlocked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Clos network blocked: needs {} middle switches",
+            self.needed
+        )
+    }
+}
+
+impl std::error::Error for ClosBlocked {}
+
+/// A three-stage Clos network `C(m, k, r)`.
+///
+/// ```
+/// use lcf_core::matching::Matching;
+/// use lcf_fabric::clos::ClosNetwork;
+///
+/// let net = ClosNetwork::rearrangeable_for_ports(16);
+/// let matching = Matching::from_pairs(16, (0..16).map(|i| (i, 15 - i)));
+/// let route = net.route(&matching).unwrap();
+/// assert_eq!(route.size(), 16);
+/// assert!(route.verify()); // no internal link used twice
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosNetwork {
+    /// Middle switches.
+    pub m: usize,
+    /// External ports per ingress/egress switch.
+    pub k: usize,
+    /// Ingress (and egress) switches.
+    pub r: usize,
+}
+
+impl ClosNetwork {
+    /// Creates a `C(m, k, r)` network.
+    pub fn new(m: usize, k: usize, r: usize) -> Self {
+        assert!(
+            m > 0 && k > 0 && r > 0,
+            "all Clos parameters must be positive"
+        );
+        ClosNetwork { m, k, r }
+    }
+
+    /// A rearrangeably non-blocking network (`m = k`) for `n` ports, with
+    /// `r × k` as square as possible.
+    pub fn rearrangeable_for_ports(n: usize) -> Self {
+        let (k, r) = split_ports(n);
+        ClosNetwork::new(k, k, r)
+    }
+
+    /// A strictly non-blocking network (`m = 2k − 1`) for `n` ports.
+    pub fn strict_for_ports(n: usize) -> Self {
+        let (k, r) = split_ports(n);
+        ClosNetwork::new(2 * k - 1, k, r)
+    }
+
+    /// External port count `n = r·k`.
+    pub fn ports(&self) -> usize {
+        self.r * self.k
+    }
+
+    /// `m ≥ k`.
+    pub fn is_rearrangeably_nonblocking(&self) -> bool {
+        self.m >= self.k
+    }
+
+    /// `m ≥ 2k − 1`.
+    pub fn is_strictly_nonblocking(&self) -> bool {
+        self.m >= 2 * self.k - 1
+    }
+
+    /// Total crosspoints: `r·k·m` (ingress) + `m·r²` (middle) + `r·m·k`
+    /// (egress).
+    pub fn crosspoints(&self) -> usize {
+        2 * self.r * self.k * self.m + self.m * self.r * self.r
+    }
+
+    /// Ingress switch of external input `p`.
+    pub fn ingress_of(&self, p: usize) -> usize {
+        p / self.k
+    }
+
+    /// Egress switch of external output `q`.
+    pub fn egress_of(&self, q: usize) -> usize {
+        q / self.k
+    }
+
+    /// Routes a matching through the middle stage.
+    ///
+    /// Returns one `(input, middle, output)` assignment per matched pair.
+    /// Succeeds for every matching when `m ≥ k`; with fewer middle switches
+    /// routing fails as soon as some ingress or egress switch needs more
+    /// colors than exist.
+    pub fn route(&self, matching: &Matching) -> Result<ClosRoute, ClosBlocked> {
+        assert_eq!(matching.n(), self.ports(), "matching size mismatch");
+        let edges: Vec<(usize, usize, usize, usize)> = matching
+            .pairs()
+            .map(|(p, q)| (p, q, self.ingress_of(p), self.egress_of(q)))
+            .collect();
+
+        // Degree bound: an ingress switch with d routed inputs needs d
+        // colors; d <= k always, but check against m for under-provisioned
+        // networks to fail fast with a precise requirement.
+        let mut ingress_deg = vec![0usize; self.r];
+        let mut egress_deg = vec![0usize; self.r];
+        for &(_, _, a, b) in &edges {
+            ingress_deg[a] += 1;
+            egress_deg[b] += 1;
+        }
+        let needed = ingress_deg
+            .iter()
+            .chain(egress_deg.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        if needed > self.m {
+            return Err(ClosBlocked { needed });
+        }
+
+        // Bipartite edge coloring with alternating-path repair (König).
+        let mut color_of: Vec<Option<usize>> = vec![None; edges.len()];
+        // at_ingress[a][c] / at_egress[b][c] = edge using color c there.
+        let mut at_ingress: Vec<Vec<Option<usize>>> = vec![vec![None; self.m]; self.r];
+        let mut at_egress: Vec<Vec<Option<usize>>> = vec![vec![None; self.m]; self.r];
+
+        for e in 0..edges.len() {
+            let (_, _, a, b) = edges[e];
+            let free_a = (0..self.m).find(|&c| at_ingress[a][c].is_none());
+            let free_both =
+                (0..self.m).find(|&c| at_ingress[a][c].is_none() && at_egress[b][c].is_none());
+            if let Some(c) = free_both {
+                color_of[e] = Some(c);
+                at_ingress[a][c] = Some(e);
+                at_egress[b][c] = Some(e);
+                continue;
+            }
+            // No shared free color: take c1 free at the ingress and c2 free
+            // at the egress, then invert the alternating (c1, c2) path that
+            // starts at the egress. The path arrives at ingress switches
+            // only via c1 edges, and c1 is free at `a`, so it never touches
+            // `a`; after inversion c1 is free at `b` as well.
+            let c1 = free_a.expect("degree bound guarantees a free ingress color");
+            let c2 = (0..self.m)
+                .find(|&c| at_egress[b][c].is_none())
+                .expect("degree bound guarantees a free egress color");
+            // `cur` is the next edge to recolor from `from_col` to `to_col`;
+            // it was found at an egress node iff `found_at_egress`.
+            let mut cur = at_egress[b][c1];
+            let mut found_at_egress = true;
+            let (mut from_col, mut to_col) = (c1, c2);
+            while let Some(edge) = cur {
+                let (_, _, ea, eb) = edges[edge];
+                // The far endpoint, where the inversion may newly clash.
+                let far_is_ingress = found_at_egress;
+                let next = if far_is_ingress {
+                    at_ingress[ea][to_col]
+                } else {
+                    at_egress[eb][to_col]
+                };
+                // Recolor. Clear the old slots only if they still point at
+                // this edge — at the endpoint shared with the previously
+                // recolored edge the slot has already been taken over.
+                if at_ingress[ea][from_col] == Some(edge) {
+                    at_ingress[ea][from_col] = None;
+                }
+                if at_egress[eb][from_col] == Some(edge) {
+                    at_egress[eb][from_col] = None;
+                }
+                color_of[edge] = Some(to_col);
+                at_ingress[ea][to_col] = Some(edge);
+                at_egress[eb][to_col] = Some(edge);
+                // Walk on.
+                cur = next;
+                found_at_egress = !far_is_ingress;
+                std::mem::swap(&mut from_col, &mut to_col);
+            }
+            // c1 is now free at both a and b.
+            debug_assert!(at_ingress[a][c1].is_none());
+            debug_assert!(at_egress[b][c1].is_none());
+            color_of[e] = Some(c1);
+            at_ingress[a][c1] = Some(e);
+            at_egress[b][c1] = Some(e);
+        }
+
+        let assignments: Vec<(usize, usize, usize)> = edges
+            .iter()
+            .zip(&color_of)
+            .map(|(&(p, q, _, _), &c)| (p, c.expect("all edges colored"), q))
+            .collect();
+        let route = ClosRoute {
+            net: *self,
+            assignments,
+        };
+        debug_assert!(route.verify());
+        Ok(route)
+    }
+}
+
+/// Splits `n` ports into `r` switches of `k` ports, as square as possible.
+fn split_ports(n: usize) -> (usize, usize) {
+    assert!(n > 1, "a Clos network needs at least 2 ports");
+    let mut k = (n as f64).sqrt().round() as usize;
+    while k > 1 && !n.is_multiple_of(k) {
+        k -= 1;
+    }
+    let k = k.max(1);
+    (k, n / k)
+}
+
+/// A routed configuration: `(input, middle switch, output)` per connection.
+#[derive(Clone, Debug)]
+pub struct ClosRoute {
+    net: ClosNetwork,
+    assignments: Vec<(usize, usize, usize)>,
+}
+
+impl ClosRoute {
+    /// The routed `(input, middle, output)` triples.
+    pub fn assignments(&self) -> &[(usize, usize, usize)] {
+        &self.assignments
+    }
+
+    /// Number of routed connections.
+    pub fn size(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Verifies that no internal link is used twice: every (ingress,
+    /// middle) and (middle, egress) link carries at most one connection.
+    pub fn verify(&self) -> bool {
+        let mut up_links = std::collections::HashSet::new();
+        let mut down_links = std::collections::HashSet::new();
+        for &(p, c, q) in &self.assignments {
+            if !up_links.insert((self.net.ingress_of(p), c)) {
+                return false;
+            }
+            if !down_links.insert((c, self.net.egress_of(q))) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn random_permutation_matching(n: usize, rng: &mut StdRng) -> Matching {
+        let mut outs: Vec<usize> = (0..n).collect();
+        outs.shuffle(rng);
+        Matching::from_pairs(n, (0..n).map(|i| (i, outs[i])))
+    }
+
+    fn random_partial_matching(n: usize, size: usize, rng: &mut StdRng) -> Matching {
+        let mut ins: Vec<usize> = (0..n).collect();
+        let mut outs: Vec<usize> = (0..n).collect();
+        ins.shuffle(rng);
+        outs.shuffle(rng);
+        Matching::from_pairs(n, ins.into_iter().zip(outs).take(size))
+    }
+
+    #[test]
+    fn parameters_and_port_split() {
+        let c = ClosNetwork::rearrangeable_for_ports(16);
+        assert_eq!(c.ports(), 16);
+        assert_eq!((c.m, c.k, c.r), (4, 4, 4));
+        assert!(c.is_rearrangeably_nonblocking());
+        assert!(!c.is_strictly_nonblocking());
+
+        let s = ClosNetwork::strict_for_ports(16);
+        assert_eq!((s.m, s.k, s.r), (7, 4, 4));
+        assert!(s.is_strictly_nonblocking());
+    }
+
+    #[test]
+    fn split_handles_non_squares() {
+        let c = ClosNetwork::rearrangeable_for_ports(12);
+        assert_eq!(c.ports(), 12);
+        let c = ClosNetwork::rearrangeable_for_ports(17); // prime
+        assert_eq!(c.ports(), 17);
+        assert_eq!(c.k, 1);
+    }
+
+    #[test]
+    fn routes_full_permutations_with_m_equals_k() {
+        let net = ClosNetwork::rearrangeable_for_ports(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let m = random_permutation_matching(16, &mut rng);
+            let route = net.route(&m).expect("m = k must route any permutation");
+            assert_eq!(route.size(), 16);
+            assert!(route.verify());
+        }
+    }
+
+    #[test]
+    fn routes_partial_matchings() {
+        let net = ClosNetwork::rearrangeable_for_ports(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        for size in [0usize, 1, 13, 40, 64] {
+            let m = random_partial_matching(64, size, &mut rng);
+            let route = net.route(&m).expect("partial matchings route too");
+            assert_eq!(route.size(), size);
+            assert!(route.verify());
+        }
+    }
+
+    #[test]
+    fn strictly_nonblocking_network_routes_too() {
+        let net = ClosNetwork::strict_for_ports(16);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let m = random_permutation_matching(16, &mut rng);
+            assert!(net.route(&m).expect("strict network").verify());
+        }
+    }
+
+    #[test]
+    fn underprovisioned_network_blocks() {
+        // m = 2 < k = 4: a permutation needs 4 middle switches.
+        let net = ClosNetwork::new(2, 4, 4);
+        let m = Matching::from_pairs(16, (0..16).map(|i| (i, i)));
+        let err = net.route(&m).unwrap_err();
+        assert_eq!(err.needed, 4);
+    }
+
+    #[test]
+    fn route_respects_port_geography() {
+        let net = ClosNetwork::new(4, 4, 4);
+        assert_eq!(net.ingress_of(0), 0);
+        assert_eq!(net.ingress_of(7), 1);
+        assert_eq!(net.egress_of(15), 3);
+    }
+
+    #[test]
+    fn worst_case_concentrated_matching() {
+        // All k inputs of ingress 0 route to the k outputs of egress 0:
+        // every connection needs a distinct middle switch.
+        let net = ClosNetwork::new(4, 4, 4);
+        let m = Matching::from_pairs(16, (0..4).map(|i| (i, 3 - i)));
+        let route = net
+            .route(&m)
+            .expect("k parallel connections need k middles");
+        let mut middles: Vec<usize> = route.assignments().iter().map(|&(_, c, _)| c).collect();
+        middles.sort_unstable();
+        middles.dedup();
+        assert_eq!(middles.len(), 4, "each connection on its own middle switch");
+    }
+
+    #[test]
+    fn scheduler_to_fabric_contract() {
+        // End to end: an LCF matching routes through a rearrangeable Clos.
+        use lcf_core::lcf::CentralLcf;
+        use lcf_core::request::RequestMatrix;
+        use lcf_core::traits::Scheduler;
+        let net = ClosNetwork::rearrangeable_for_ports(16);
+        let mut sched = CentralLcf::with_round_robin(16);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let requests = RequestMatrix::random(16, 0.4, &mut rng);
+            let matching = sched.schedule(&requests);
+            let route = net.route(&matching).expect("every matching routes");
+            assert_eq!(route.size(), matching.size());
+            assert!(route.verify());
+        }
+    }
+}

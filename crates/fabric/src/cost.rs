@@ -1,0 +1,118 @@
+//! Crosspoint-cost comparison: crossbar vs Clos (the scalability argument
+//! behind the paper's Sec. 2 mention of Clos fabrics).
+
+use crate::clos::ClosNetwork;
+
+/// Crosspoints of an `n × n` crossbar: `n²`.
+pub fn crossbar_crosspoints(n: usize) -> usize {
+    n * n
+}
+
+/// Crosspoints of a Clos network.
+pub fn clos_crosspoints(net: &ClosNetwork) -> usize {
+    net.crosspoints()
+}
+
+/// Finds the rearrangeably non-blocking Clos network (`m = k`) with the
+/// fewest crosspoints for `n` ports, over all factorizations `n = r·k`.
+///
+/// Returns `None` when no 3-stage decomposition beats a plain crossbar
+/// (small `n`).
+pub fn optimal_clos(n: usize) -> Option<ClosNetwork> {
+    let mut best: Option<ClosNetwork> = None;
+    for k in 2..n {
+        if !n.is_multiple_of(k) {
+            continue;
+        }
+        let r = n / k;
+        if r < 2 {
+            continue;
+        }
+        let candidate = ClosNetwork::new(k, k, r);
+        if best.is_none_or(|b| candidate.crosspoints() < b.crosspoints()) {
+            best = Some(candidate);
+        }
+    }
+    best.filter(|b| b.crosspoints() < crossbar_crosspoints(n))
+}
+
+/// One row of a crossbar-vs-Clos cost table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostRow {
+    /// Port count.
+    pub n: usize,
+    /// Crossbar crosspoints.
+    pub crossbar: usize,
+    /// Best rearrangeable Clos crosspoints (crossbar if no Clos wins).
+    pub clos: usize,
+    /// The winning Clos dimensioning, if any.
+    pub best: Option<ClosNetwork>,
+}
+
+/// Builds the comparison for a port sweep.
+pub fn comparison(ns: &[usize]) -> Vec<CostRow> {
+    ns.iter()
+        .map(|&n| {
+            let best = optimal_clos(n);
+            CostRow {
+                n,
+                crossbar: crossbar_crosspoints(n),
+                clos: best.map_or(crossbar_crosspoints(n), |b| b.crosspoints()),
+                best,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_cost() {
+        assert_eq!(crossbar_crosspoints(16), 256);
+        assert_eq!(crossbar_crosspoints(256), 65536);
+    }
+
+    #[test]
+    fn small_switches_prefer_crossbars() {
+        // At n = 4 every 3-stage decomposition costs more than 16 points.
+        assert!(optimal_clos(4).is_none());
+    }
+
+    #[test]
+    fn large_switches_prefer_clos() {
+        let best = optimal_clos(256).expect("a 256-port Clos beats the crossbar");
+        assert!(best.crosspoints() < crossbar_crosspoints(256));
+        assert!(best.is_rearrangeably_nonblocking());
+        assert_eq!(best.ports(), 256);
+    }
+
+    #[test]
+    fn optimum_is_actually_minimal() {
+        let n = 64;
+        let best = optimal_clos(n).expect("64 ports decompose");
+        for k in 2..n {
+            if n % k == 0 && n / k >= 2 {
+                let candidate = ClosNetwork::new(k, k, n / k);
+                assert!(best.crosspoints() <= candidate.crosspoints());
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_rows_are_consistent() {
+        let rows = comparison(&[4, 16, 64, 256]);
+        for row in &rows {
+            assert!(row.clos <= row.crossbar);
+            if let Some(best) = row.best {
+                assert_eq!(best.crosspoints(), row.clos);
+            } else {
+                assert_eq!(row.clos, row.crossbar);
+            }
+        }
+        // Cost advantage grows with n.
+        let gain = |r: &CostRow| r.crossbar as f64 / r.clos as f64;
+        assert!(gain(&rows[3]) > gain(&rows[1]));
+    }
+}

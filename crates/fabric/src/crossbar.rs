@@ -1,0 +1,199 @@
+//! A crosspoint-level crossbar switch (the fabric of the paper's Fig. 1).
+
+use lcf_core::matching::Matching;
+
+/// An `n × n` crossbar modelled at the crosspoint level.
+///
+/// A crosspoint `(i, j)` connects input line `i` to output column `j`.
+/// A configuration is conflict-free iff at most one crosspoint is closed
+/// per row and per column — exactly the property a
+/// [`Matching`] guarantees, which is what
+/// makes the scheduler/fabric split sound.
+///
+/// ```
+/// use lcf_core::matching::Matching;
+/// use lcf_fabric::crossbar::Crossbar;
+///
+/// let mut xbar = Crossbar::new(4);
+/// xbar.configure(&Matching::from_pairs(4, [(0, 3), (2, 1)]));
+/// let out = xbar.forward(&[Some("a"), None, Some("c"), None]);
+/// assert_eq!(out, vec![None, Some("c"), None, Some("a")]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    n: usize,
+    /// Closed crosspoints, row-major.
+    closed: Vec<bool>,
+}
+
+/// Error returned when a configuration would short two signals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossbarError {
+    /// Two crosspoints closed in one row (an input driving two outputs is
+    /// legal only for multicast-capable fabrics; see
+    /// [`Crossbar::configure_multicast`]).
+    RowConflict(usize),
+    /// Two crosspoints closed in one column (two inputs shorted together).
+    ColumnConflict(usize),
+}
+
+impl std::fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrossbarError::RowConflict(i) => write!(f, "input {i} drives multiple outputs"),
+            CrossbarError::ColumnConflict(j) => write!(f, "output {j} driven by multiple inputs"),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
+impl Crossbar {
+    /// Creates an open (no connections) crossbar.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "crossbar requires n > 0");
+        Crossbar {
+            n,
+            closed: vec![false; n * n],
+        }
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of crosspoints — the cost driver of a crossbar: `n²`.
+    pub fn crosspoints(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Opens every crosspoint.
+    pub fn clear(&mut self) {
+        self.closed.fill(false);
+    }
+
+    /// Whether crosspoint `(i, j)` is closed.
+    pub fn is_closed(&self, input: usize, output: usize) -> bool {
+        self.closed[input * self.n + output]
+    }
+
+    /// Configures the crossbar from a unicast matching. Always succeeds:
+    /// matchings are conflict-free by construction.
+    pub fn configure(&mut self, matching: &Matching) {
+        assert_eq!(matching.n(), self.n, "matching size mismatch");
+        self.clear();
+        for (i, j) in matching.pairs() {
+            self.closed[i * self.n + j] = true;
+        }
+        debug_assert!(self.check().is_ok());
+    }
+
+    /// Configures from explicit `(input, output)` pairs, allowing multicast
+    /// (one input driving several outputs, as Clint's precalculated
+    /// schedule does) but rejecting column conflicts.
+    pub fn configure_multicast(
+        &mut self,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<(), CrossbarError> {
+        self.clear();
+        for (i, j) in pairs {
+            assert!(i < self.n && j < self.n, "port out of range");
+            self.closed[i * self.n + j] = true;
+        }
+        // Multicast permits row fan-out; columns must stay exclusive.
+        for j in 0..self.n {
+            if (0..self.n).filter(|&i| self.is_closed(i, j)).count() > 1 {
+                self.clear();
+                return Err(CrossbarError::ColumnConflict(j));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the electrical contract: at most one closed crosspoint per
+    /// row and column.
+    pub fn check(&self) -> Result<(), CrossbarError> {
+        for i in 0..self.n {
+            if (0..self.n).filter(|&j| self.is_closed(i, j)).count() > 1 {
+                return Err(CrossbarError::RowConflict(i));
+            }
+        }
+        for j in 0..self.n {
+            if (0..self.n).filter(|&i| self.is_closed(i, j)).count() > 1 {
+                return Err(CrossbarError::ColumnConflict(j));
+            }
+        }
+        Ok(())
+    }
+
+    /// Forwards one slot: `inputs[i]` is the payload at input `i`; returns
+    /// the payload arriving at each output.
+    pub fn forward<T: Clone>(&self, inputs: &[Option<T>]) -> Vec<Option<T>> {
+        assert_eq!(inputs.len(), self.n, "one payload slot per input");
+        (0..self.n)
+            .map(|j| {
+                (0..self.n)
+                    .find(|&i| self.is_closed(i, j))
+                    .and_then(|i| inputs[i].clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_from_matching_and_forward() {
+        let m = Matching::from_pairs(4, [(0, 2), (3, 1)]);
+        let mut xbar = Crossbar::new(4);
+        xbar.configure(&m);
+        assert!(xbar.is_closed(0, 2));
+        assert!(xbar.is_closed(3, 1));
+        assert!(!xbar.is_closed(0, 0));
+        let out = xbar.forward(&[Some("a"), None, None, Some("d")]);
+        assert_eq!(out, vec![None, Some("d"), Some("a"), None]);
+    }
+
+    #[test]
+    fn reconfiguration_clears_previous_state() {
+        let mut xbar = Crossbar::new(4);
+        xbar.configure(&Matching::from_pairs(4, [(0, 0)]));
+        xbar.configure(&Matching::from_pairs(4, [(1, 1)]));
+        assert!(!xbar.is_closed(0, 0));
+        assert!(xbar.is_closed(1, 1));
+    }
+
+    #[test]
+    fn multicast_fanout_allowed() {
+        let mut xbar = Crossbar::new(4);
+        xbar.configure_multicast([(2, 0), (2, 1), (2, 3)]).unwrap();
+        let out = xbar.forward(&[None, None, Some(7u32), None]);
+        assert_eq!(out, vec![Some(7), Some(7), None, Some(7)]);
+    }
+
+    #[test]
+    fn column_conflict_rejected_and_rolled_back() {
+        let mut xbar = Crossbar::new(4);
+        let err = xbar.configure_multicast([(0, 1), (2, 1)]).unwrap_err();
+        assert_eq!(err, CrossbarError::ColumnConflict(1));
+        // The fabric must not be left half-configured.
+        assert!((0..4).all(|i| (0..4).all(|j| !xbar.is_closed(i, j))));
+    }
+
+    #[test]
+    fn check_detects_conflicts() {
+        let mut xbar = Crossbar::new(3);
+        xbar.closed[0] = true; // (0,0)
+        xbar.closed[1] = true; // (0,1) — row conflict
+        assert_eq!(xbar.check(), Err(CrossbarError::RowConflict(0)));
+    }
+
+    #[test]
+    fn crosspoint_cost_is_quadratic() {
+        assert_eq!(Crossbar::new(16).crosspoints(), 256);
+        assert_eq!(Crossbar::new(64).crosspoints(), 4096);
+    }
+}

@@ -1,0 +1,32 @@
+//! # lcf-fabric — non-blocking switch fabrics
+//!
+//! The paper's switch model assumes "a non-blocking switch fabric such as
+//! the crossbar switch of Figure 1. Other non-blocking fabrics such as Clos
+//! networks are also possible" (Sec. 2). This crate provides both:
+//!
+//! * [`crossbar`] — a crosspoint-level crossbar: configure it from a
+//!   [`Matching`](lcf_core::matching::Matching), forward a slot of packets,
+//!   and account for the `n²` crosspoint cost.
+//! * [`clos`] — three-stage Clos networks `C(m, k, r)` with a bipartite
+//!   edge-coloring router: any matching routes without internal blocking
+//!   when `m ≥ k` (rearrangeably non-blocking, Clos 1953).
+//! * [`cost`] — crosspoint-count comparison between the two, including the
+//!   optimal Clos dimensioning that makes wide switches affordable.
+//!
+//! The fabric is deliberately decoupled from the schedulers: a scheduler
+//! produces a conflict-free matching, and any fabric here can realize it.
+//! The tests verify that contract end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clos;
+pub mod cost;
+pub mod crossbar;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::clos::{ClosNetwork, ClosRoute};
+    pub use crate::cost::{clos_crosspoints, crossbar_crosspoints, optimal_clos};
+    pub use crate::crossbar::Crossbar;
+}

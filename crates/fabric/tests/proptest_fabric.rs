@@ -1,0 +1,90 @@
+//! Property tests: every conflict-free matching routes through every
+//! adequately provisioned fabric, for arbitrary shapes and sizes.
+
+use lcf_core::matching::Matching;
+use lcf_fabric::clos::ClosNetwork;
+use lcf_fabric::crossbar::Crossbar;
+use proptest::prelude::*;
+
+/// Strategy: a random partial matching over `n` ports, built from two
+/// independent permutations truncated to a random size.
+fn matching(n: usize) -> impl Strategy<Value = Matching> {
+    (
+        Just(n),
+        proptest::collection::vec(any::<u32>(), n),
+        proptest::collection::vec(any::<u32>(), n),
+        0..=n,
+    )
+        .prop_map(|(n, in_keys, out_keys, size)| {
+            let mut ins: Vec<usize> = (0..n).collect();
+            let mut outs: Vec<usize> = (0..n).collect();
+            ins.sort_by_key(|&i| in_keys[i]);
+            outs.sort_by_key(|&j| out_keys[j]);
+            Matching::from_pairs(n, ins.into_iter().zip(outs).take(size))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The crossbar accepts every matching and forwards exactly along it.
+    #[test]
+    fn crossbar_realizes_every_matching(m in matching(12)) {
+        let mut xbar = Crossbar::new(12);
+        xbar.configure(&m);
+        prop_assert!(xbar.check().is_ok());
+        let inputs: Vec<Option<usize>> = (0..12).map(Some).collect();
+        let outputs = xbar.forward(&inputs);
+        for (j, &out) in outputs.iter().enumerate() {
+            prop_assert_eq!(out, m.input_for(j), "output {} payload", j);
+        }
+    }
+
+    /// A rearrangeably non-blocking Clos (m = k) routes every matching with
+    /// no internal link used twice, across several dimensionings.
+    #[test]
+    fn clos_routes_every_matching(
+        m in matching(12),
+        k in proptest::sample::select(vec![2usize, 3, 4, 6]),
+    ) {
+        let r = 12 / k;
+        let net = ClosNetwork::new(k, k, r);
+        prop_assert_eq!(net.ports(), 12);
+        let route = net.route(&m).expect("m = k is rearrangeably non-blocking");
+        prop_assert_eq!(route.size(), m.size());
+        prop_assert!(route.verify());
+        // Every assignment must reproduce a matched pair.
+        for &(p, _, q) in route.assignments() {
+            prop_assert_eq!(m.output_for(p), Some(q));
+        }
+    }
+
+    /// Extra middle switches never hurt: strict networks route everything
+    /// the rearrangeable one does.
+    #[test]
+    fn more_middles_still_route(m in matching(12)) {
+        for extra in 0..3usize {
+            let net = ClosNetwork::new(4 + extra, 4, 3);
+            let route = net.route(&m).expect("provisioned network routes");
+            prop_assert!(route.verify());
+        }
+    }
+
+    /// The middle switch assignment is a proper coloring: connections
+    /// sharing an ingress or egress switch never share a middle switch.
+    #[test]
+    fn routing_is_a_proper_edge_coloring(m in matching(16)) {
+        let net = ClosNetwork::new(4, 4, 4);
+        let route = net.route(&m).expect("routes");
+        let a = route.assignments();
+        for x in 0..a.len() {
+            for y in x + 1..a.len() {
+                let (p1, c1, q1) = a[x];
+                let (p2, c2, q2) = a[y];
+                if net.ingress_of(p1) == net.ingress_of(p2) || net.egress_of(q1) == net.egress_of(q2) {
+                    prop_assert_ne!(c1, c2, "shared switch must imply distinct middles");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Communication-cost model (Fig. 10 and Sec. 6.2, "Communication Cost").
+//!
+//! The central scheduler exchanges, per scheduling cycle:
+//!
+//! * `req(n)` bits from each of the `n` requesters, and
+//! * `gnt(log₂n) + vld(1)` bits back to each —
+//!
+//! a total of `n · (n + log₂n + 1)` bits. The distributed scheduler must
+//! ship its priorities explicitly on every iteration: per matrix position,
+//! `req(1) + nrq(log₂n)` forward, `gnt(1) + ngt(log₂n)` back and `acc(1)`
+//! forward again — `i · n² · (2·log₂n + 3)` bits for `i` iterations.
+
+use crate::log2_ceil;
+
+/// Bits exchanged per scheduling cycle by the central organization:
+/// `n(n + log₂n + 1)`.
+pub fn central_bits(n: usize) -> usize {
+    n * (n + log2_ceil(n) + 1)
+}
+
+/// Bits exchanged per scheduling cycle by the distributed organization with
+/// `iterations` iterations: `i·n²(2·log₂n + 3)`.
+pub fn distributed_bits(n: usize, iterations: usize) -> usize {
+    iterations * n * n * (2 * log2_ceil(n) + 3)
+}
+
+/// Ratio of distributed to central communication volume.
+pub fn overhead_ratio(n: usize, iterations: usize) -> f64 {
+    distributed_bits(n, iterations) as f64 / central_bits(n) as f64
+}
+
+/// One row of the Fig. 10 comparison for a port count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommRow {
+    /// Port count.
+    pub n: usize,
+    /// Central bits per cycle.
+    pub central: usize,
+    /// Distributed bits per cycle.
+    pub distributed: usize,
+    /// distributed / central.
+    pub ratio: f64,
+}
+
+/// Builds the comparison over a port-count sweep.
+pub fn comparison(ns: &[usize], iterations: usize) -> Vec<CommRow> {
+    ns.iter()
+        .map(|&n| CommRow {
+            n,
+            central: central_bits(n),
+            distributed: distributed_bits(n, iterations),
+            ratio: overhead_ratio(n, iterations),
+        })
+        .collect()
+}
+
+/// Per-message field widths of the central scheduler (Fig. 10a), for
+/// documentation/tests: `(request_bits, grant_bits, valid_bits)`.
+pub fn central_message_fields(n: usize) -> (usize, usize, usize) {
+    (n, log2_ceil(n), 1)
+}
+
+/// Per-position field widths of the distributed scheduler (Fig. 10b):
+/// `(req, nrq, gnt, ngt, acc)`.
+pub fn distributed_message_fields(n: usize) -> (usize, usize, usize, usize, usize) {
+    let g = log2_ceil(n);
+    (1, g, 1, g, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_formula_at_16() {
+        // n(n + log2 n + 1) = 16 * (16 + 4 + 1) = 336.
+        assert_eq!(central_bits(16), 336);
+    }
+
+    #[test]
+    fn distributed_formula_at_16() {
+        // i n^2 (2 log2 n + 3) = 4 * 256 * 11 = 11264.
+        assert_eq!(distributed_bits(16, 4), 11264);
+    }
+
+    #[test]
+    fn fields_sum_to_totals() {
+        for n in [4usize, 16, 64] {
+            let (req, gnt, vld) = central_message_fields(n);
+            assert_eq!(n * (req + gnt + vld), central_bits(n));
+            let (r, nrq, g, ngt, a) = distributed_message_fields(n);
+            assert_eq!(
+                3 * n * n * (r + nrq + g + ngt + a) / 3,
+                distributed_bits(n, 1) // per-iteration total
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_is_significantly_more_expensive() {
+        // The paper: "the distributed scheduler has significantly higher
+        // communication demands".
+        for n in [8usize, 16, 64, 256] {
+            assert!(overhead_ratio(n, 4) > 10.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ratio_grows_with_iterations() {
+        assert!(overhead_ratio(16, 8) > overhead_ratio(16, 4));
+        assert!((overhead_ratio(16, 8) / overhead_ratio(16, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_rows() {
+        let rows = comparison(&[4, 16], 4);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].n, 16);
+        assert_eq!(rows[1].central, 336);
+        assert_eq!(rows[1].distributed, 11264);
+    }
+}

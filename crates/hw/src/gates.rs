@@ -1,0 +1,278 @@
+//! Gate/register count model of the central LCF scheduler (Table 1).
+//!
+//! The paper's Fig. 6 shows the per-requester slice: the request register
+//! `R[i, 0..n-1]`, the `NRQ` and `PRIO` shift registers (inverse unary
+//! encoding), the `NGT`/`CP` flags, the `GNT` register and the open-collector
+//! bus interface. The *central* part holds the `RES` resource pointer, the
+//! control sequencer and the per-port bus/packet interface.
+//!
+//! Component widths follow the structure (bit-sliced datapaths are linear in
+//! `n`; encoded values are `log₂ n` wide); the per-bit gate factors are
+//! calibrated so that `n = 16` reproduces Table 1 exactly:
+//!
+//! | | gates | registers |
+//! |---|---|---|
+//! | distributed (16 slices) | 16 × 450 = 7200 | 16 × 86 = 1376 |
+//! | central | 767 | 216 |
+//! | **total** | **7967** | **1592** |
+
+use crate::log2_ceil;
+
+/// One named component of the model with its gate and register counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Component name as in Fig. 6.
+    pub name: &'static str,
+    /// Two-input gate equivalents.
+    pub gates: usize,
+    /// Register (flip-flop) bits.
+    pub regs: usize,
+}
+
+/// Cost summary of a scheduler instance (one row of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostRow {
+    /// Two-input gate equivalents.
+    pub gates: usize,
+    /// Register bits.
+    pub regs: usize,
+}
+
+/// The gate-count model, parameterized by port count.
+#[derive(Clone, Copy, Debug)]
+pub struct GateModel {
+    n: usize,
+}
+
+impl GateModel {
+    /// Creates the model for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "model requires n > 0");
+        GateModel { n }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Components of one requester slice (the logic of Fig. 6, replicated
+    /// per input port and placeable next to it).
+    pub fn slice_components(&self) -> Vec<Component> {
+        let n = self.n;
+        let g = log2_ceil(n);
+        vec![
+            // Registers. 5 n-bit banks: R, its config double-buffer (the
+            // cfg packet arrives while the previous cycle is scheduled),
+            // NRQ, PRIO, and the bus sampling register.
+            Component {
+                name: "request register R",
+                gates: 4 * n,
+                regs: n,
+            },
+            Component {
+                name: "config shadow register",
+                gates: 0,
+                regs: n,
+            },
+            Component {
+                name: "NRQ shift register + sum",
+                gates: 9 * n,
+                regs: n,
+            },
+            Component {
+                name: "PRIO shift register",
+                gates: 3 * n,
+                regs: n,
+            },
+            Component {
+                name: "bus sample register",
+                gates: 0,
+                regs: n,
+            },
+            Component {
+                name: "bus drivers (NRQ/PRIO phases)",
+                gates: 4 * n,
+                regs: 0,
+            },
+            Component {
+                name: "bus comparator (CP)",
+                gates: 4 * n,
+                regs: 1,
+            },
+            Component {
+                name: "grant mask / NGT",
+                gates: 2 * n,
+                regs: 1,
+            },
+            Component {
+                name: "GNT register + encode",
+                gates: 6 * g,
+                regs: g,
+            },
+            Component {
+                name: "slice control",
+                gates: 10,
+                regs: 0,
+            },
+        ]
+    }
+
+    /// Components of the central part (RES pointer, sequencer, per-port
+    /// interface).
+    pub fn central_components(&self) -> Vec<Component> {
+        let n = self.n;
+        let g = log2_ceil(n);
+        vec![
+            // Grant/config packet interface is per port (serializers,
+            // CRC check/generate share), hence linear in n.
+            Component {
+                name: "port interface / packet mux",
+                gates: 40 * n,
+                regs: 12 * n,
+            },
+            Component {
+                name: "bus precharge / sense",
+                gates: 6 * n,
+                regs: n,
+            },
+            Component {
+                name: "RES resource pointer (+1)",
+                gates: 7 * g,
+                regs: g,
+            },
+            Component {
+                name: "control sequencer",
+                gates: 3,
+                regs: 4,
+            },
+        ]
+    }
+
+    fn sum(components: &[Component]) -> CostRow {
+        CostRow {
+            gates: components.iter().map(|c| c.gates).sum(),
+            regs: components.iter().map(|c| c.regs).sum(),
+        }
+    }
+
+    /// Cost of one requester slice.
+    pub fn slice(&self) -> CostRow {
+        Self::sum(&self.slice_components())
+    }
+
+    /// Cost of all `n` slices — the "Distributed" column of Table 1.
+    pub fn distributed(&self) -> CostRow {
+        let s = self.slice();
+        CostRow {
+            gates: s.gates * self.n,
+            regs: s.regs * self.n,
+        }
+    }
+
+    /// Cost of the central logic — the "Central" column of Table 1.
+    pub fn central(&self) -> CostRow {
+        Self::sum(&self.central_components())
+    }
+
+    /// Total cost — the "Total" column of Table 1.
+    pub fn total(&self) -> CostRow {
+        let d = self.distributed();
+        let c = self.central();
+        CostRow {
+            gates: d.gates + c.gates,
+            regs: d.regs + c.regs,
+        }
+    }
+
+    /// Fraction of a Xilinx XCV600's logic this uses, scaled from the
+    /// paper's observation that the n = 16 implementation used 15% of the
+    /// device. Values above 1.0 mean "does not fit".
+    pub fn xcv600_utilization(&self) -> f64 {
+        const PAPER_TOTAL_GATES: f64 = 7967.0;
+        self.total().gates as f64 * 0.15 / PAPER_TOTAL_GATES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduced_at_n16() {
+        let m = GateModel::new(16);
+        assert_eq!(
+            m.slice(),
+            CostRow {
+                gates: 450,
+                regs: 86
+            }
+        );
+        assert_eq!(
+            m.distributed(),
+            CostRow {
+                gates: 7200,
+                regs: 1376
+            }
+        );
+        assert_eq!(
+            m.central(),
+            CostRow {
+                gates: 767,
+                regs: 216
+            }
+        );
+        assert_eq!(
+            m.total(),
+            CostRow {
+                gates: 7967,
+                regs: 1592
+            }
+        );
+    }
+
+    #[test]
+    fn cost_scales_monotonically() {
+        let mut prev = GateModel::new(2).total();
+        for n in [4, 8, 16, 32, 64, 128] {
+            let cur = GateModel::new(n).total();
+            assert!(cur.gates > prev.gates && cur.regs > prev.regs);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn distributed_part_dominates_for_large_n() {
+        // The slices are the bit-sliced datapath; they must dwarf the
+        // central sequencer as n grows.
+        let m = GateModel::new(64);
+        assert!(m.distributed().gates > 2 * m.central().gates);
+    }
+
+    #[test]
+    fn slice_regs_follow_structure() {
+        // 5 n-bit register banks + NGT + CP + GNT(log2 n).
+        for n in [4usize, 16, 64] {
+            let m = GateModel::new(n);
+            let expected = 5 * n + 2 + crate::log2_ceil(n);
+            assert_eq!(m.slice().regs, expected);
+        }
+    }
+
+    #[test]
+    fn utilization_matches_paper_at_16() {
+        let m = GateModel::new(16);
+        assert!((m.xcv600_utilization() - 0.15).abs() < 1e-12);
+        // A 64-port scheduler would not fit in the same part at this rate.
+        assert!(GateModel::new(128).xcv600_utilization() > 1.0);
+    }
+
+    #[test]
+    fn component_breakdown_sums_to_row() {
+        let m = GateModel::new(32);
+        let sum_gates: usize = m.slice_components().iter().map(|c| c.gates).sum();
+        assert_eq!(sum_gates, m.slice().gates);
+        let sum_regs: usize = m.central_components().iter().map(|c| c.regs).sum();
+        assert_eq!(sum_regs, m.central().regs);
+    }
+}

@@ -1,0 +1,55 @@
+//! # lcf-hw — analytic hardware cost models for the LCF scheduler
+//!
+//! The paper evaluates its FPGA implementation along three axes; each gets a
+//! module here:
+//!
+//! * [`gates`] — gate and register counts of the central LCF scheduler's
+//!   structure (Fig. 6), reproducing **Table 1** at `n = 16` and scaling the
+//!   same structure to other port counts.
+//! * [`timing`] — clock-cycle counts of the scheduling tasks, reproducing
+//!   **Table 2** (`2n+1` cycles precalculated-schedule check, `3n+2` cycles
+//!   LCF calculation, 66 MHz clock).
+//! * [`comm`] — scheduling-message bit counts for the central and
+//!   distributed organizations (**Fig. 10**): `n(n + log₂n + 1)` vs
+//!   `i·n²(2·log₂n + 3)`.
+//!
+//! These are *models*, not a synthesis flow: the paper's own numbers are
+//! structural counts of the Fig. 6 block diagram, and the models here count
+//! the same components, calibrated so `n = 16` matches the paper exactly
+//! (see `DESIGN.md`, "Substitutions").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod gates;
+pub mod rtl;
+pub mod timing;
+
+/// `⌈log₂ n⌉` — the width of an encoded port number.
+///
+/// Defined as 0 for `n <= 1` (a 1-port switch needs no port field).
+pub fn log2_ceil(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (n - 1).leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+        assert_eq!(log2_ceil(1024), 10);
+    }
+}

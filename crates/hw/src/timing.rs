@@ -1,0 +1,170 @@
+//! Clock-cycle/timing model of the scheduling tasks (Table 2) and the
+//! asymptotic speed comparison of Sec. 6.2.
+
+use crate::log2_ceil;
+
+/// Clock frequency of the paper's Clint FPGA implementation.
+pub const PAPER_CLOCK_HZ: f64 = 66.0e6;
+
+/// One row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskTiming {
+    /// Task name.
+    pub task: &'static str,
+    /// Cycle-count formula rendered as text (the "Decomposition" column).
+    pub decomposition: &'static str,
+    /// Clock cycles.
+    pub cycles: usize,
+    /// Wall time in nanoseconds at the configured clock.
+    pub time_ns: f64,
+}
+
+/// Timing model of the central LCF scheduler implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingModel {
+    n: usize,
+    clock_hz: f64,
+}
+
+impl TimingModel {
+    /// Model for an `n`-port switch at the paper's 66 MHz clock.
+    pub fn paper(n: usize) -> Self {
+        Self::new(n, PAPER_CLOCK_HZ)
+    }
+
+    /// Model with an explicit clock frequency.
+    pub fn new(n: usize, clock_hz: f64) -> Self {
+        assert!(n > 0, "model requires n > 0");
+        assert!(clock_hz > 0.0, "clock must be positive");
+        TimingModel { n, clock_hz }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cycles to check the precalculated schedule: `2n + 1`.
+    pub fn precalc_check_cycles(&self) -> usize {
+        2 * self.n + 1
+    }
+
+    /// Cycles to calculate the LCF schedule: `3n + 2`.
+    pub fn lcf_cycles(&self) -> usize {
+        3 * self.n + 2
+    }
+
+    /// Total scheduling cycles: `5n + 3`.
+    pub fn total_cycles(&self) -> usize {
+        5 * self.n + 3
+    }
+
+    /// Converts cycles to nanoseconds at the model clock.
+    pub fn cycles_to_ns(&self, cycles: usize) -> f64 {
+        cycles as f64 / self.clock_hz * 1e9
+    }
+
+    /// The three rows of Table 2.
+    pub fn table2(&self) -> Vec<TaskTiming> {
+        vec![
+            TaskTiming {
+                task: "Check prec. schedule",
+                decomposition: "2n+1",
+                cycles: self.precalc_check_cycles(),
+                time_ns: self.cycles_to_ns(self.precalc_check_cycles()),
+            },
+            TaskTiming {
+                task: "Calculate LCF schedule",
+                decomposition: "3n+2",
+                cycles: self.lcf_cycles(),
+                time_ns: self.cycles_to_ns(self.lcf_cycles()),
+            },
+            TaskTiming {
+                task: "Total",
+                decomposition: "5n+3",
+                cycles: self.total_cycles(),
+                time_ns: self.cycles_to_ns(self.total_cycles()),
+            },
+        ]
+    }
+}
+
+/// Abstract time steps of a *central* scheduler: targets are scheduled
+/// sequentially, one step per target — `O(n)` (Sec. 6.2, "Speed").
+pub fn central_time_steps(n: usize) -> usize {
+    n
+}
+
+/// Expected time steps of the *distributed* scheduler: one step per
+/// iteration, `O(log₂ n)` iterations expected for a near-optimal schedule
+/// (Sec. 6.2; the PIM analysis gives `E[iters] ≤ log₂ n + 4/3`).
+pub fn distributed_expected_time_steps(n: usize) -> f64 {
+    log2_ceil(n) as f64 + 4.0 / 3.0
+}
+
+/// Port count above which the distributed scheduler's expected step count
+/// beats the central scheduler's — the paper's "considerably faster for
+/// large values of n".
+pub fn crossover_port_count() -> usize {
+    (2..)
+        .find(|&n| (central_time_steps(n) as f64) > distributed_expected_time_steps(n))
+        .expect("crossover exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduced_at_n16() {
+        let rows = TimingModel::paper(16).table2();
+        assert_eq!(rows[0].cycles, 33);
+        assert_eq!(rows[1].cycles, 50);
+        assert_eq!(rows[2].cycles, 83);
+        // Paper rounds to 500 ns / 758 ns / 1258 ns.
+        assert!((rows[0].time_ns - 500.0).abs() < 1.0, "{}", rows[0].time_ns);
+        assert!((rows[1].time_ns - 758.0).abs() < 1.0, "{}", rows[1].time_ns);
+        assert!(
+            (rows[2].time_ns - 1258.0).abs() < 1.0,
+            "{}",
+            rows[2].time_ns
+        );
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        for n in [1usize, 4, 16, 64, 256] {
+            let m = TimingModel::paper(n);
+            assert_eq!(
+                m.precalc_check_cycles() + m.lcf_cycles(),
+                m.total_cycles(),
+                "decompositions must add up at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn clint_schedule_fits_in_reschedule_interval() {
+        // Sec. 1: "the switch is re-scheduled every 8.5 µs and the actual
+        // scheduling time is 1.3 µs" — our total must come in just under.
+        let m = TimingModel::paper(16);
+        let total_us = m.cycles_to_ns(m.total_cycles()) / 1000.0;
+        assert!(total_us < 1.3, "scheduling time {total_us} µs");
+        assert!(total_us > 1.2, "suspiciously fast: {total_us} µs");
+    }
+
+    #[test]
+    fn faster_clock_scales_linearly() {
+        let slow = TimingModel::new(16, 66.0e6);
+        let fast = TimingModel::new(16, 132.0e6);
+        assert!((slow.cycles_to_ns(83) / fast.cycles_to_ns(83) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_wins_for_wide_switches() {
+        let x = crossover_port_count();
+        // log2_ceil(n) + 4/3 < n from n = 4 on (3 < 3.33 at n = 3).
+        assert_eq!(x, 4);
+        assert!(central_time_steps(64) as f64 > distributed_expected_time_steps(64) * 8.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Closed-form queueing results (Karol, Hluchyj & Morgan 1987 — the
+//! paper's reference \[8\]) used to validate the simulator against theory.
+//!
+//! For uniform i.i.d. Bernoulli arrivals:
+//!
+//! * an **output-buffered** switch's mean waiting time is the discrete
+//!   M/D/1-like expression `W = ((n−1)/n) · p / (2(1−p))` — an exact
+//!   result, so the simulator's `outbuf` curve must land on it;
+//! * a **FIFO input-buffered** switch saturates at `2 − √2 ≈ 0.586` as
+//!   `n → ∞`, with known finite-`n` values — the ceiling the `fifo` curve
+//!   must hit.
+//!
+//! The tests in this module run the simulator against both results; the
+//! agreement is the strongest evidence the Fig. 11 model is implemented
+//! correctly.
+
+/// Mean queueing delay (in slots) of an output-buffered switch under
+/// uniform Bernoulli load `p` per input (Karol et al., Eq. for output
+/// queueing with infinite buffers).
+///
+/// # Panics
+/// Panics for `p >= 1` (the queue is unstable) or `p < 0`.
+pub fn outbuf_mean_delay(n: usize, p: f64) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!((0.0..1.0).contains(&p), "load must be in [0, 1)");
+    ((n - 1) as f64 / n as f64) * p / (2.0 * (1.0 - p))
+}
+
+/// Saturation throughput of FIFO input queueing under uniform traffic,
+/// `n → ∞` limit: `2 − √2`.
+pub fn fifo_saturation_limit() -> f64 {
+    2.0 - 2.0f64.sqrt()
+}
+
+/// Finite-`n` FIFO saturation throughput (Karol et al., Table I). Exact
+/// for the tabulated sizes, the asymptotic limit beyond.
+pub fn fifo_saturation(n: usize) -> f64 {
+    match n {
+        0 => panic!("n must be positive"),
+        1 => 1.0,
+        2 => 0.7500,
+        3 => 0.6825,
+        4 => 0.6553,
+        5 => 0.6399,
+        6 => 0.6302,
+        7 => 0.6234,
+        8 => 0.6184,
+        _ => fifo_saturation_limit(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelKind, SimConfig};
+    use crate::runner::run_sim;
+    use lcf_core::registry::SchedulerKind;
+
+    #[test]
+    fn outbuf_formula_values() {
+        // n -> infinity at p = 0.9: 4.5 slots; n = 16 scales by 15/16.
+        assert!((outbuf_mean_delay(16, 0.9) - 4.21875).abs() < 1e-9);
+        assert_eq!(outbuf_mean_delay(1, 0.9), 0.0, "1-port switch never queues");
+        assert!((outbuf_mean_delay(16, 0.5) - 0.46875).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn unstable_load_rejected() {
+        let _ = outbuf_mean_delay(16, 1.0);
+    }
+
+    #[test]
+    fn saturation_values() {
+        assert!((fifo_saturation_limit() - 0.5857864376).abs() < 1e-9);
+        assert_eq!(fifo_saturation(1), 1.0);
+        assert!(fifo_saturation(4) > fifo_saturation(8));
+        assert_eq!(fifo_saturation(100), fifo_saturation_limit());
+    }
+
+    /// The simulator's output-buffered switch must reproduce the exact
+    /// M/D/1 delay across the load range (the strongest end-to-end check
+    /// of the arrival, queueing and service logic).
+    #[test]
+    fn simulated_outbuf_matches_theory() {
+        for &load in &[0.3, 0.5, 0.7, 0.9] {
+            let cfg = SimConfig {
+                model: ModelKind::OutputBuffered,
+                load,
+                warmup_slots: 20_000,
+                measure_slots: 80_000,
+                ..SimConfig::paper_default()
+            };
+            let measured = run_sim(&cfg).mean_latency();
+            let theory = outbuf_mean_delay(cfg.n, load);
+            let rel = (measured - theory).abs() / theory.max(0.1);
+            assert!(
+                rel < 0.05,
+                "load {load}: measured {measured:.3} vs theory {theory:.3} ({rel:.3} rel err)"
+            );
+        }
+    }
+
+    /// The simulated FIFO switch saturates at the theoretical ceiling.
+    #[test]
+    fn simulated_fifo_hits_karol_ceiling() {
+        let cfg = SimConfig {
+            model: ModelKind::Scheduler(SchedulerKind::Fifo),
+            n: 8,
+            load: 1.0,
+            warmup_slots: 20_000,
+            measure_slots: 80_000,
+            ..SimConfig::paper_default()
+        };
+        let measured = run_sim(&cfg).throughput;
+        let theory = fifo_saturation(8);
+        assert!(
+            (measured - theory).abs() < 0.02,
+            "measured {measured:.4} vs Karol {theory:.4}"
+        );
+    }
+}

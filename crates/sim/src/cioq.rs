@@ -1,0 +1,300 @@
+//! Combined input/output-queued (CIOQ) switch with fabric speedup and
+//! pipelined scheduling.
+//!
+//! Two knobs the paper's introduction motivates but does not evaluate:
+//!
+//! * **Speedup** — Sec. 1 notes throughput must be traded against latency
+//!   and cost. A fabric running `s` times faster than the links can move
+//!   `s` matchings per slot from the VOQs into (necessary) output buffers;
+//!   classic theory says a speedup of 2 lets an input-queued switch emulate
+//!   output queueing. EXT-10 measures where LCF lands on that curve.
+//! * **Scheduling latency** — Sec. 1: "By pipelining the scheduler and
+//!   overlapping scheduling and packet forwarding, packet throughput is
+//!   optimized. Note that these techniques do not reduce latency." A
+//!   pipeline depth of `L` slots means the matching applied in slot `t` was
+//!   computed from the VOQ state of slot `t − L`; grants may find their VOQ
+//!   drained and are then wasted. EXT-11 measures that cost.
+
+use crate::packet::Packet;
+use crate::queues::{BoundedFifo, VoqSet};
+use crate::stats::SimStats;
+use crate::traffic::Traffic;
+use lcf_core::matching::Matching;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// A CIOQ switch: VOQs → fabric at speedup `s` → output buffers → link.
+pub struct CioqSwitch {
+    n: usize,
+    scheduler: Box<dyn Scheduler + Send>,
+    speedup: usize,
+    sched_latency: usize,
+    pqs: Vec<BoundedFifo>,
+    voqs: Vec<VoqSet>,
+    outputs: Vec<BoundedFifo>,
+    requests: RequestMatrix,
+    /// Matchings in flight through the scheduling pipeline; front is the
+    /// next to apply. Holds `sched_latency` entries between steps.
+    pipeline: VecDeque<Vec<Matching>>,
+    /// Per-(input, output) count of packets granted but not yet pulled
+    /// through the fabric. A pipelined scheduler knows its own outstanding
+    /// grants (the hosts received them), so these packets are not
+    /// re-requested — without this a deep pipeline would double-grant the
+    /// same head packets and waste most fabric passes.
+    in_flight: Vec<usize>,
+    /// Grants that found an empty VOQ or a full output buffer.
+    wasted_grants: u64,
+}
+
+impl CioqSwitch {
+    /// Builds the switch.
+    ///
+    /// * `speedup` — fabric passes per slot (≥ 1).
+    /// * `sched_latency` — pipeline depth in slots (0 = the matching is
+    ///   computed and applied in the same slot, as in [`IqSwitch`]).
+    ///
+    /// [`IqSwitch`]: crate::switch::IqSwitch
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        scheduler: Box<dyn Scheduler + Send>,
+        speedup: usize,
+        sched_latency: usize,
+        pq_cap: usize,
+        voq_cap: usize,
+        outbuf_cap: usize,
+    ) -> Self {
+        assert_eq!(scheduler.num_ports(), n, "scheduler port count mismatch");
+        assert!(speedup >= 1, "speedup must be at least 1");
+        CioqSwitch {
+            n,
+            scheduler,
+            speedup,
+            sched_latency,
+            pqs: (0..n).map(|_| BoundedFifo::new(pq_cap)).collect(),
+            voqs: (0..n).map(|_| VoqSet::new(n, voq_cap)).collect(),
+            outputs: (0..n).map(|_| BoundedFifo::new(outbuf_cap)).collect(),
+            requests: RequestMatrix::new(n),
+            pipeline: VecDeque::new(),
+            in_flight: vec![0; n * n],
+            wasted_grants: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fabric speedup.
+    pub fn speedup(&self) -> usize {
+        self.speedup
+    }
+
+    /// Scheduling pipeline depth in slots.
+    pub fn sched_latency(&self) -> usize {
+        self.sched_latency
+    }
+
+    /// Grants that arrived after their VOQ had already drained.
+    pub fn wasted_grants(&self) -> u64 {
+        self.wasted_grants
+    }
+
+    /// Total packets currently buffered anywhere.
+    pub fn buffered_packets(&self) -> usize {
+        self.pqs.iter().map(|q| q.len()).sum::<usize>()
+            + self.voqs.iter().map(|v| v.total_len()).sum::<usize>()
+            + self.outputs.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    fn compute_matchings(&mut self) -> Vec<Matching> {
+        let n = self.n;
+        let mut matchings = Vec::with_capacity(self.speedup);
+        // The scheduler sees the VOQ state as of now, minus packets already
+        // granted (in the pipeline or by an earlier pass of this slot) —
+        // the same information a real pipelined/speedup scheduler has.
+        for _ in 0..self.speedup {
+            for i in 0..n {
+                for j in 0..n {
+                    let avail = self.voqs[i].len_for(j) > self.in_flight[i * n + j];
+                    self.requests.set(i, j, avail);
+                }
+            }
+            let m = self.scheduler.schedule(&self.requests);
+            for (i, j) in m.pairs() {
+                self.in_flight[i * n + j] += 1;
+            }
+            matchings.push(m);
+        }
+        matchings
+    }
+
+    /// Advances one slot.
+    pub fn step(
+        &mut self,
+        slot: u64,
+        traffic: &mut dyn Traffic,
+        rng: &mut StdRng,
+        stats: &mut SimStats,
+    ) {
+        let n = self.n;
+
+        // Arrivals and PQ -> VOQ spill (identical to the IQ switch).
+        for input in 0..n {
+            if let Some(dst) = traffic.arrival(slot, input, rng) {
+                stats.on_generated();
+                if !self.pqs[input].push(Packet::new(input, dst, slot)) {
+                    stats.on_drop_pq();
+                }
+            }
+        }
+        for input in 0..n {
+            while let Some(head) = self.pqs[input].head() {
+                if !self.voqs[input].has_room_for(head.dst_idx()) {
+                    break;
+                }
+                let p = self.pqs[input].pop().expect("head checked");
+                let pushed = self.voqs[input].push(p);
+                debug_assert!(pushed);
+            }
+        }
+
+        // Compute this slot's matchings and push them into the pipeline;
+        // apply the matchings that have emerged from it.
+        let fresh = self.compute_matchings();
+        self.pipeline.push_back(fresh);
+        let ready = if self.pipeline.len() > self.sched_latency {
+            self.pipeline.pop_front()
+        } else {
+            None // pipeline still filling
+        };
+
+        if let Some(matchings) = ready {
+            for m in &matchings {
+                for (i, j) in m.pairs() {
+                    self.in_flight[i * n + j] = self.in_flight[i * n + j].saturating_sub(1);
+                    // A grant is wasted only if the output buffer is full
+                    // (the in-flight accounting guarantees the VOQ packet
+                    // exists).
+                    if self.outputs[j].is_full() {
+                        self.wasted_grants += 1;
+                        continue;
+                    }
+                    match self.voqs[i].pop_for(j) {
+                        Some(p) => {
+                            let pushed = self.outputs[j].push(p);
+                            debug_assert!(pushed, "fullness checked above");
+                        }
+                        None => self.wasted_grants += 1,
+                    }
+                }
+            }
+        }
+
+        // Output links: one packet per output per slot.
+        for output in 0..n {
+            if let Some(p) = self.outputs[output].pop() {
+                stats.on_delivered(&p, slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Bernoulli, DestPattern};
+    use lcf_core::registry::SchedulerKind;
+    use rand::SeedableRng;
+
+    fn mk(speedup: usize, latency: usize) -> CioqSwitch {
+        let n = 8;
+        CioqSwitch::new(
+            n,
+            SchedulerKind::LcfCentralRr.build(n, 4, 1),
+            speedup,
+            latency,
+            1000,
+            256,
+            256,
+        )
+    }
+
+    fn run(sw: &mut CioqSwitch, load: f64, slots: u64, seed: u64) -> SimStats {
+        let n = sw.n();
+        let mut traffic = Bernoulli::new(n, load, DestPattern::Uniform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = SimStats::new(n, 0, 4096);
+        for slot in 0..slots {
+            sw.step(slot, &mut traffic, &mut rng, &mut stats);
+        }
+        stats
+    }
+
+    #[test]
+    fn conservation_with_speedup_and_latency() {
+        for (s, l) in [(1, 0), (2, 0), (1, 3), (2, 2), (4, 1)] {
+            let mut sw = mk(s, l);
+            let stats = run(&mut sw, 0.9, 3_000, 42);
+            let accounted = stats.delivered + stats.dropped() + sw.buffered_packets() as u64;
+            assert_eq!(stats.generated, accounted, "speedup {s} latency {l}");
+        }
+    }
+
+    #[test]
+    fn speedup_one_zero_latency_matches_iq_ballpark() {
+        // CIOQ with s=1, L=0 adds one output-buffer stage to the IQ model;
+        // latency should be close to (and no better than a slot below) the
+        // plain IQ switch.
+        let mut sw = mk(1, 0);
+        let stats = run(&mut sw, 0.7, 20_000, 7);
+        assert_eq!(stats.dropped(), 0);
+        assert!(stats.mean_latency() < 5.0);
+    }
+
+    #[test]
+    fn speedup_reduces_latency_at_high_load() {
+        let mut s1 = mk(1, 0);
+        let mut s2 = mk(2, 0);
+        let lat1 = run(&mut s1, 0.95, 30_000, 9).mean_latency();
+        let lat2 = run(&mut s2, 0.95, 30_000, 9).mean_latency();
+        assert!(
+            lat2 < lat1,
+            "speedup 2 must beat speedup 1 at load 0.95 ({lat2} vs {lat1})"
+        );
+    }
+
+    #[test]
+    fn pipeline_latency_adds_delay_but_keeps_throughput() {
+        let mut l0 = mk(1, 0);
+        let mut l4 = mk(1, 4);
+        let st0 = run(&mut l0, 0.6, 20_000, 11);
+        let st4 = run(&mut l4, 0.6, 20_000, 11);
+        // "these techniques do not reduce latency": depth adds ~4 slots.
+        assert!(st4.mean_latency() > st0.mean_latency() + 3.0);
+        // But throughput is preserved (pipelining overlaps work).
+        let thr = |st: &SimStats| st.delivered as f64;
+        assert!((thr(&st4) / thr(&st0) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn stale_grants_are_counted_not_fatal() {
+        // With deep pipelining and bursty drain patterns some grants go
+        // stale; the switch must absorb them.
+        let mut sw = mk(2, 6);
+        let stats = run(&mut sw, 0.8, 10_000, 13);
+        assert!(stats.delivered > 0);
+        // wasted_grants is a counter, not an error: just ensure accounting
+        // held (conservation is checked in the dedicated test).
+        let _ = sw.wasted_grants();
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be at least 1")]
+    fn zero_speedup_panics() {
+        let _ = mk(0, 0);
+    }
+}

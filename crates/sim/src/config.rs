@@ -1,0 +1,225 @@
+//! Simulation configuration.
+
+use crate::traffic::DestPattern;
+use lcf_core::registry::SchedulerKind;
+
+/// Which switch architecture / scheduler a simulation models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Input-queued switch driven by the given scheduler. `fifo` implies the
+    /// single-FIFO queue mode; everything else uses VOQs.
+    Scheduler(SchedulerKind),
+    /// Output-buffered switch (`outbuf` in Fig. 12) — no scheduler at all.
+    OutputBuffered,
+}
+
+impl ModelKind {
+    /// The curve label used in the paper's Fig. 12 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Scheduler(kind) => kind.name(),
+            ModelKind::OutputBuffered => "outbuf",
+        }
+    }
+
+    /// Parses a Fig. 12 legend name.
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        if name == "outbuf" {
+            Some(ModelKind::OutputBuffered)
+        } else {
+            SchedulerKind::from_name(name).map(ModelKind::Scheduler)
+        }
+    }
+
+    /// The nine curves of Fig. 12, in legend order.
+    pub fn figure12_lineup() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Scheduler(SchedulerKind::LcfCentral),
+            ModelKind::Scheduler(SchedulerKind::LcfCentralRr),
+            ModelKind::Scheduler(SchedulerKind::LcfDistRr),
+            ModelKind::Scheduler(SchedulerKind::LcfDist),
+            ModelKind::Scheduler(SchedulerKind::Pim),
+            ModelKind::Scheduler(SchedulerKind::Islip),
+            ModelKind::Scheduler(SchedulerKind::Wavefront),
+            ModelKind::Scheduler(SchedulerKind::Fifo),
+            ModelKind::OutputBuffered,
+        ]
+    }
+}
+
+/// The arrival process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficKind {
+    /// Independent Bernoulli arrivals (the paper's workload).
+    Bernoulli,
+    /// On-off bursty arrivals with the given mean burst length.
+    Bursty {
+        /// Mean number of back-to-back packets per burst.
+        mean_burst: f64,
+    },
+}
+
+/// Full description of one simulation run.
+///
+/// [`SimConfig::paper_default`] reproduces the parameters of the paper's
+/// Fig. 12 experiment: a 16-port switch, 256-entry VOQs, a 1000-entry PQ per
+/// input, 4 iterations for the iterative schedulers and 256-entry output
+/// buffers for `outbuf`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Switch architecture / scheduler under test.
+    pub model: ModelKind,
+    /// Number of switch ports.
+    pub n: usize,
+    /// Offered load per input in packets/slot (probability of generation).
+    pub load: f64,
+    /// Destination distribution.
+    pub pattern: DestPattern,
+    /// Arrival process.
+    pub traffic: TrafficKind,
+    /// Packet queue capacity per input (PQ in Fig. 11).
+    pub pq_cap: usize,
+    /// Capacity of each virtual output queue (or of the single input FIFO
+    /// in `fifo` mode).
+    pub voq_cap: usize,
+    /// Capacity of each output buffer (`outbuf` model only).
+    pub outbuf_cap: usize,
+    /// Iteration budget for `pim`, `lcf_dist`, `lcf_dist_rr`.
+    pub iterations: usize,
+    /// Iteration budget for `islip`. The paper pins the other iterative
+    /// schedulers to 4 and is silent on iSLIP, but its observation that
+    /// "islip and wfront seem to be similar in performance" only reproduces
+    /// with a multi-iteration iSLIP, so the default is also 4. (With 1
+    /// iteration iSLIP's non-maximal matchings push its curve far above
+    /// wfront.)
+    pub islip_iterations: usize,
+    /// Slots simulated before measurement starts (queue warm-up).
+    pub warmup_slots: u64,
+    /// Slots over which statistics are collected.
+    pub measure_slots: u64,
+    /// RNG seed; a run is fully deterministic given its config.
+    pub seed: u64,
+    /// Latency histogram range (values above land in the overflow bucket).
+    pub max_latency_bucket: usize,
+}
+
+impl SimConfig {
+    /// The Fig. 12 parameter set (Sec. 6.3 of the paper).
+    pub fn paper_default() -> Self {
+        SimConfig {
+            model: ModelKind::Scheduler(SchedulerKind::LcfCentral),
+            n: 16,
+            load: 0.5,
+            pattern: DestPattern::Uniform,
+            traffic: TrafficKind::Bernoulli,
+            pq_cap: 1000,
+            voq_cap: 256,
+            outbuf_cap: 256,
+            iterations: 4,
+            islip_iterations: 4,
+            warmup_slots: 20_000,
+            measure_slots: 100_000,
+            seed: 0x1C_F2002,
+            max_latency_bucket: 4096,
+        }
+    }
+
+    /// Iteration budget for the scheduler this config selects.
+    pub fn iterations_for_model(&self) -> usize {
+        match self.model {
+            ModelKind::Scheduler(SchedulerKind::Islip) => self.islip_iterations,
+            _ => self.iterations,
+        }
+    }
+
+    /// Validates parameter ranges; called by the runner before building.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.load) {
+            return Err(format!("load {} outside [0,1]", self.load));
+        }
+        if self.pq_cap == 0 || self.voq_cap == 0 || self.outbuf_cap == 0 {
+            return Err("queue capacities must be positive".into());
+        }
+        if self.iterations == 0 || self.islip_iterations == 0 {
+            return Err("iteration budgets must be positive".into());
+        }
+        if self.measure_slots == 0 {
+            return Err("measure_slots must be positive".into());
+        }
+        if let DestPattern::Permutation(p) = &self.pattern {
+            if p.len() != self.n || p.iter().any(|&d| d >= self.n) {
+                return Err("permutation pattern malformed".into());
+            }
+        }
+        if let DestPattern::Hotspot { hot, fraction } = &self.pattern {
+            if *hot >= self.n || !(0.0..=1.0).contains(fraction) {
+                return Err("hotspot pattern malformed".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_6_3() {
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.n, 16);
+        assert_eq!(cfg.pq_cap, 1000);
+        assert_eq!(cfg.voq_cap, 256);
+        assert_eq!(cfg.outbuf_cap, 256);
+        assert_eq!(cfg.iterations, 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn model_names_roundtrip() {
+        for model in ModelKind::figure12_lineup() {
+            assert_eq!(ModelKind::from_name(model.name()), Some(model));
+        }
+        assert_eq!(ModelKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn figure12_lineup_has_nine_curves() {
+        assert_eq!(ModelKind::figure12_lineup().len(), 9);
+    }
+
+    #[test]
+    fn islip_gets_its_own_iteration_budget() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.model = ModelKind::Scheduler(SchedulerKind::Islip);
+        cfg.islip_iterations = 1;
+        assert_eq!(cfg.iterations_for_model(), 1);
+        cfg.model = ModelKind::Scheduler(SchedulerKind::Pim);
+        assert_eq!(cfg.iterations_for_model(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.load = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.pattern = DestPattern::Permutation(vec![0, 1]); // wrong length
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.pattern = DestPattern::Hotspot {
+            hot: 99,
+            fraction: 0.5,
+        };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.measure_slots = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

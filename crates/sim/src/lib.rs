@@ -1,0 +1,60 @@
+//! # lcf-sim — slot-based input-queued switch simulator
+//!
+//! Implements the simulation model of the paper's Fig. 11: packet generators
+//! (`PG`) feed per-input packet queues (`PQ`), which spill into virtual
+//! output queues (`VOQ`); a [scheduler](lcf_core::traits::Scheduler) connects
+//! inputs to outputs through a non-blocking fabric once per time slot.
+//!
+//! Three switch architectures are modelled:
+//!
+//! * [`switch::IqSwitch`] with VOQs — used by all VOQ schedulers
+//!   (`lcf_central`, `pim`, `islip`, …),
+//! * [`switch::IqSwitch`] with a single FIFO per input — the `fifo`
+//!   baseline exhibiting head-of-line blocking,
+//! * [`outbuf::ObSwitch`] — the output-buffered reference (`outbuf`).
+//!
+//! The [`runner`] module drives warm-up + measurement windows and runs load
+//! sweeps in parallel (one simulation per thread; each simulation is
+//! single-threaded and fully deterministic under its seed).
+//!
+//! ```
+//! use lcf_sim::prelude::*;
+//!
+//! let cfg = SimConfig {
+//!     model: ModelKind::Scheduler(SchedulerKind::LcfCentral),
+//!     load: 0.5,
+//!     warmup_slots: 1_000,
+//!     measure_slots: 5_000,
+//!     ..SimConfig::paper_default()
+//! };
+//! let report = run_sim(&cfg);
+//! assert!(report.mean_latency() < 5.0); // light load, tiny delay
+//! assert!(report.delivered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod cioq;
+pub mod config;
+pub mod outbuf;
+pub mod packet;
+pub mod queues;
+pub mod runner;
+pub mod stats;
+pub mod switch;
+pub mod traffic;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::cioq::CioqSwitch;
+    pub use crate::config::{ModelKind, SimConfig};
+    pub use crate::outbuf::ObSwitch;
+    pub use crate::packet::Packet;
+    pub use crate::runner::{run_sim, sweep, SimReport};
+    pub use crate::stats::SimStats;
+    pub use crate::switch::{IqSwitch, QueueMode};
+    pub use crate::traffic::{DestPattern, Traffic};
+    pub use lcf_core::prelude::*;
+}

@@ -1,0 +1,230 @@
+//! Bounded FIFO queues: packet queues (PQ), virtual output queues (VOQ) and
+//! output buffers are all instances of [`BoundedFifo`].
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of packets.
+///
+/// All queues in the Fig. 11 model are FIFO memories with a fixed capacity;
+/// a full queue rejects (drops) arrivals, which the simulator accounts for.
+///
+/// ```
+/// use lcf_sim::packet::Packet;
+/// use lcf_sim::queues::BoundedFifo;
+///
+/// let mut q = BoundedFifo::new(2);
+/// assert!(q.push(Packet::new(0, 1, 10)));
+/// assert!(q.push(Packet::new(0, 1, 11)));
+/// assert!(!q.push(Packet::new(0, 1, 12)), "full queue drops");
+/// assert_eq!(q.pop().unwrap().generated_at, 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedFifo {
+    cap: usize,
+    q: VecDeque<Packet>,
+}
+
+impl BoundedFifo {
+    /// Creates a queue holding at most `cap` packets.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` — every queue in the model holds at least one
+    /// packet.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        BoundedFifo {
+            cap,
+            q: VecDeque::new(),
+        }
+    }
+
+    /// Capacity.
+    #[inline]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of queued packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if no packets are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True if at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.q.len() >= self.cap
+    }
+
+    /// Attempts to enqueue; returns `false` (dropping the packet) when full.
+    #[must_use = "a false return means the packet was dropped"]
+    pub fn push(&mut self, p: Packet) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.q.push_back(p);
+            true
+        }
+    }
+
+    /// Dequeues the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.q.pop_front()
+    }
+
+    /// Peeks at the head packet.
+    pub fn head(&self) -> Option<&Packet> {
+        self.q.front()
+    }
+}
+
+/// The set of `n` virtual output queues of one input port.
+///
+/// Packets are sorted by destination on arrival at the input buffer
+/// (Sec. 2); each destination has its own bounded FIFO so packets for
+/// different targets never block each other.
+#[derive(Clone, Debug)]
+pub struct VoqSet {
+    queues: Vec<BoundedFifo>,
+}
+
+impl VoqSet {
+    /// Creates `n` VOQs of `cap_each` packets each.
+    pub fn new(n: usize, cap_each: usize) -> Self {
+        assert!(n > 0, "VOQ set requires n > 0");
+        VoqSet {
+            queues: (0..n).map(|_| BoundedFifo::new(cap_each)).collect(),
+        }
+    }
+
+    /// Number of VOQs (= switch ports).
+    pub fn n(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Attempts to enqueue a packet into the VOQ of its destination.
+    #[must_use = "a false return means the packet was dropped"]
+    pub fn push(&mut self, p: Packet) -> bool {
+        self.queues[p.dst_idx()].push(p)
+    }
+
+    /// True if the VOQ for destination `dst` has room.
+    pub fn has_room_for(&self, dst: usize) -> bool {
+        !self.queues[dst].is_full()
+    }
+
+    /// True if the VOQ for destination `dst` holds at least one packet —
+    /// this is the request bit the scheduler sees.
+    pub fn has_packet_for(&self, dst: usize) -> bool {
+        !self.queues[dst].is_empty()
+    }
+
+    /// Dequeues the head packet destined for `dst`.
+    pub fn pop_for(&mut self, dst: usize) -> Option<Packet> {
+        self.queues[dst].pop()
+    }
+
+    /// Peeks at the head packet destined for `dst` (for age-based
+    /// schedulers).
+    pub fn head_for(&self, dst: usize) -> Option<&Packet> {
+        self.queues[dst].head()
+    }
+
+    /// Total packets queued across all VOQs.
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Occupancy of the VOQ for destination `dst`.
+    pub fn len_for(&self, dst: usize) -> usize {
+        self.queues[dst].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dst: usize) -> Packet {
+        Packet::new(0, dst, 0)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedFifo::new(4);
+        for t in 0..3 {
+            assert!(q.push(Packet::new(0, 0, t)));
+        }
+        assert_eq!(q.pop().unwrap().generated_at, 0);
+        assert_eq!(q.pop().unwrap().generated_at, 1);
+        assert_eq!(q.pop().unwrap().generated_at, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = BoundedFifo::new(2);
+        assert!(q.push(pkt(0)));
+        assert!(q.push(pkt(0)));
+        assert!(q.is_full());
+        assert!(!q.push(pkt(0)), "third push must be rejected");
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert!(!q.is_full());
+        assert!(q.push(pkt(0)));
+    }
+
+    #[test]
+    fn head_does_not_consume() {
+        let mut q = BoundedFifo::new(2);
+        assert!(q.push(Packet::new(1, 2, 7)));
+        assert_eq!(q.head().unwrap().generated_at, 7);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedFifo::new(0);
+    }
+
+    #[test]
+    fn voq_routes_by_destination() {
+        let mut v = VoqSet::new(4, 2);
+        assert!(v.push(pkt(1)));
+        assert!(v.push(pkt(3)));
+        assert!(v.has_packet_for(1));
+        assert!(!v.has_packet_for(0));
+        assert_eq!(v.total_len(), 2);
+        assert_eq!(v.pop_for(3).unwrap().dst_idx(), 3);
+        assert!(!v.has_packet_for(3));
+    }
+
+    #[test]
+    fn voq_per_destination_capacity() {
+        let mut v = VoqSet::new(4, 1);
+        assert!(v.push(pkt(2)));
+        assert!(!v.push(pkt(2)), "VOQ 2 full");
+        assert!(v.push(pkt(0)), "other VOQs unaffected");
+        assert!(!v.has_room_for(2));
+        assert!(v.has_room_for(1));
+    }
+
+    #[test]
+    fn voq_lengths() {
+        let mut v = VoqSet::new(3, 8);
+        for _ in 0..5 {
+            assert!(v.push(pkt(1)));
+        }
+        assert_eq!(v.len_for(1), 5);
+        assert_eq!(v.len_for(0), 0);
+        assert_eq!(v.total_len(), 5);
+    }
+}

@@ -1,0 +1,297 @@
+//! Experiment driver: warm-up, measurement and parallel load sweeps.
+
+use crate::config::{ModelKind, SimConfig, TrafficKind};
+use crate::outbuf::ObSwitch;
+use crate::stats::SimStats;
+use crate::switch::{IqSwitch, QueueMode};
+use crate::traffic::{Bernoulli, OnOffBursty, Traffic};
+use lcf_core::registry::SchedulerKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Fig. 12 legend name of the model simulated.
+    pub model: String,
+    /// Offered load the run was configured with.
+    pub load: f64,
+    /// Number of switch ports.
+    pub n: usize,
+    /// Slots in the measurement window.
+    pub slots: u64,
+    /// Packets generated during measurement.
+    pub generated: u64,
+    /// Packets delivered during measurement.
+    pub delivered: u64,
+    /// Packets dropped (PQ and inner queues) during measurement.
+    pub dropped: u64,
+    /// Mean queueing delay in slots (packets generated during measurement).
+    pub mean_latency_slots: f64,
+    /// Standard deviation of the queueing delay.
+    pub latency_std_dev: f64,
+    /// Median queueing delay.
+    pub p50_latency: u64,
+    /// 99th-percentile queueing delay.
+    pub p99_latency: u64,
+    /// Delivered throughput as a fraction of aggregate link capacity.
+    pub throughput: f64,
+    /// Jain fairness index over per-input deliveries.
+    pub jain_index: f64,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl SimReport {
+    /// Mean queueing delay in slots.
+    pub fn mean_latency(&self) -> f64 {
+        self.mean_latency_slots
+    }
+
+    /// Loss rate over generated packets.
+    pub fn loss_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.generated as f64
+        }
+    }
+}
+
+enum Model {
+    Iq(IqSwitch),
+    Ob(ObSwitch),
+}
+
+impl Model {
+    fn step(
+        &mut self,
+        slot: u64,
+        traffic: &mut dyn Traffic,
+        rng: &mut StdRng,
+        stats: &mut SimStats,
+    ) {
+        match self {
+            Model::Iq(sw) => {
+                sw.step(slot, traffic, rng, stats);
+            }
+            Model::Ob(sw) => sw.step(slot, traffic, rng, stats),
+        }
+    }
+}
+
+fn build_model(cfg: &SimConfig) -> Model {
+    match cfg.model {
+        ModelKind::OutputBuffered => Model::Ob(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
+        ModelKind::Scheduler(kind) => {
+            let scheduler = kind.build(cfg.n, cfg.iterations_for_model(), cfg.seed ^ 0x5EED);
+            let mode = if kind == SchedulerKind::Fifo {
+                QueueMode::SingleFifo { cap: cfg.voq_cap }
+            } else {
+                QueueMode::Voq { cap: cfg.voq_cap }
+            };
+            Model::Iq(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap))
+        }
+    }
+}
+
+fn build_traffic(cfg: &SimConfig) -> Box<dyn Traffic> {
+    match &cfg.traffic {
+        TrafficKind::Bernoulli => Box::new(Bernoulli::new(cfg.n, cfg.load, cfg.pattern.clone())),
+        TrafficKind::Bursty { mean_burst } => Box::new(OnOffBursty::new(
+            cfg.n,
+            cfg.load,
+            *mean_burst,
+            cfg.pattern.clone(),
+        )),
+    }
+}
+
+/// Runs one simulation: `warmup_slots` to fill the queues, then
+/// `measure_slots` with statistics collection.
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`].
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    let (report, _) = run_sim_with_stats(cfg);
+    report
+}
+
+/// Like [`run_sim`] but also returns the raw [`SimStats`] collector (needed
+/// by the fairness experiment, which inspects per-pair service counts).
+pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
+    cfg.validate().expect("invalid simulation config");
+    let mut model = build_model(cfg);
+    let mut traffic = build_traffic(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Warm-up: run with a throwaway collector so queues reach steady state.
+    let mut warm_stats = SimStats::new(cfg.n, 0, cfg.max_latency_bucket);
+    for slot in 0..cfg.warmup_slots {
+        model.step(slot, traffic.as_mut(), &mut rng, &mut warm_stats);
+    }
+
+    // Measurement window with a fresh collector. Latency samples only come
+    // from packets generated inside the window.
+    let start = cfg.warmup_slots;
+    let end = start + cfg.measure_slots;
+    let mut stats = SimStats::new(cfg.n, start, cfg.max_latency_bucket);
+    for slot in start..end {
+        model.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+    }
+
+    let report = SimReport {
+        model: cfg.model.name().to_string(),
+        load: cfg.load,
+        n: cfg.n,
+        slots: cfg.measure_slots,
+        generated: stats.generated,
+        delivered: stats.delivered,
+        dropped: stats.dropped(),
+        mean_latency_slots: stats.mean_latency(),
+        latency_std_dev: stats.latency_std_dev(),
+        p50_latency: stats.latency_quantile(0.5),
+        p99_latency: stats.latency_quantile(0.99),
+        throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * cfg.n as f64),
+        jain_index: stats.service().jain_index(),
+        seed: cfg.seed,
+    };
+    (report, stats)
+}
+
+/// Runs many simulations in parallel (one OS thread per hardware thread;
+/// each simulation is single-threaded and deterministic). Results come back
+/// in input order.
+pub fn sweep(configs: &[SimConfig]) -> Vec<SimReport> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<SimReport>>> = configs
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= configs.len() {
+                    break;
+                }
+                let report = run_sim(&configs[idx]);
+                *results[idx].lock() = Some(report);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every config produces a report"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::DestPattern;
+
+    fn quick_cfg(model: ModelKind, load: f64) -> SimConfig {
+        SimConfig {
+            model,
+            load,
+            n: 8,
+            warmup_slots: 2_000,
+            measure_slots: 10_000,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn run_sim_produces_sane_report() {
+        let cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.6);
+        let r = run_sim(&cfg);
+        assert_eq!(r.model, "lcf_central");
+        assert_eq!(r.n, 8);
+        assert!(r.generated > 0);
+        assert!(r.delivered > 0);
+        assert!(r.throughput > 0.5 && r.throughput < 0.7);
+        assert!(r.mean_latency() > 0.0);
+        assert!(r.p99_latency >= r.p50_latency);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::Pim), 0.7);
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_latency_slots, b.mean_latency_slots);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::Pim), 0.7);
+        let a = run_sim(&cfg);
+        cfg.seed += 1;
+        let b = run_sim(&cfg);
+        assert_ne!(
+            (a.delivered, a.mean_latency_slots),
+            (b.delivered, b.mean_latency_slots)
+        );
+    }
+
+    #[test]
+    fn outbuf_beats_fifo_at_high_load() {
+        let ob = run_sim(&quick_cfg(ModelKind::OutputBuffered, 0.9));
+        let fifo = run_sim(&quick_cfg(ModelKind::Scheduler(SchedulerKind::Fifo), 0.9));
+        assert!(
+            ob.mean_latency() < fifo.mean_latency(),
+            "outbuf {} vs fifo {}",
+            ob.mean_latency(),
+            fifo.mean_latency()
+        );
+        assert!(ob.throughput > fifo.throughput);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_parallelizes() {
+        let configs: Vec<SimConfig> = [0.2, 0.5, 0.8]
+            .iter()
+            .map(|&load| quick_cfg(ModelKind::Scheduler(SchedulerKind::Islip), load))
+            .collect();
+        let reports = sweep(&configs);
+        assert_eq!(reports.len(), 3);
+        for (cfg, rep) in configs.iter().zip(&reports) {
+            assert_eq!(cfg.load, rep.load);
+        }
+        // Latency grows with load.
+        assert!(reports[0].mean_latency() <= reports[2].mean_latency());
+    }
+
+    #[test]
+    fn bursty_traffic_runs() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentralRr), 0.5);
+        cfg.traffic = TrafficKind::Bursty { mean_burst: 8.0 };
+        cfg.pattern = DestPattern::Uniform;
+        let r = run_sim(&cfg);
+        assert!(r.delivered > 0);
+        // Bursts should hurt latency relative to Bernoulli at equal load.
+        let bernoulli = run_sim(&quick_cfg(
+            ModelKind::Scheduler(SchedulerKind::LcfCentralRr),
+            0.5,
+        ));
+        assert!(r.mean_latency() > bernoulli.mean_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_config_panics() {
+        let mut cfg = quick_cfg(ModelKind::OutputBuffered, 0.5);
+        cfg.load = 2.0;
+        let _ = run_sim(&cfg);
+    }
+}

@@ -1,0 +1,341 @@
+//! Traffic generation: arrival processes and destination patterns.
+//!
+//! The paper's Fig. 12 experiment uses Bernoulli arrivals with uniformly
+//! distributed destinations ("Load is the probability that a host generates
+//! a packet in a given time slot. The destinations of the packets are
+//! uniformly distributed."). The additional patterns and the bursty on-off
+//! process support the extension experiments (EXT-3, EXT-6).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a newly generated packet picks its destination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DestPattern {
+    /// Uniform over all `n` outputs — the paper's Fig. 12 workload.
+    Uniform,
+    /// Uniform over all outputs except the packet's own input (a host does
+    /// not send to itself; Sec. 2 mentions this variant).
+    UniformNonSelf,
+    /// A fraction of the traffic converges on one hot output; the remainder
+    /// is uniform over the other outputs.
+    Hotspot {
+        /// The overloaded output port.
+        hot: usize,
+        /// Probability that a packet targets the hot output.
+        fraction: f64,
+    },
+    /// Input `i` sends to outputs `i` and `i+1 (mod n)` with probabilities
+    /// 2/3 and 1/3 — the classic "diagonal" stress pattern for round-robin
+    /// schedulers.
+    Diagonal,
+    /// Input `i` always sends to `perm[i]` — contention-free if `perm` is a
+    /// permutation; useful for calibration tests.
+    Permutation(Vec<usize>),
+}
+
+impl DestPattern {
+    /// Samples a destination for a packet generated at `input`.
+    pub fn sample(&self, n: usize, input: usize, rng: &mut StdRng) -> usize {
+        match self {
+            DestPattern::Uniform => rng.gen_range(0..n),
+            DestPattern::UniformNonSelf => {
+                if n == 1 {
+                    0
+                } else {
+                    let d = rng.gen_range(0..n - 1);
+                    if d >= input {
+                        d + 1
+                    } else {
+                        d
+                    }
+                }
+            }
+            DestPattern::Hotspot { hot, fraction } => {
+                if rng.gen_bool(*fraction) || n == 1 {
+                    *hot
+                } else {
+                    let d = rng.gen_range(0..n - 1);
+                    if d >= *hot {
+                        d + 1
+                    } else {
+                        d
+                    }
+                }
+            }
+            DestPattern::Diagonal => {
+                if rng.gen_bool(2.0 / 3.0) {
+                    input % n
+                } else {
+                    (input + 1) % n
+                }
+            }
+            DestPattern::Permutation(perm) => perm[input],
+        }
+    }
+}
+
+/// An arrival process: per slot and input, possibly one new packet.
+pub trait Traffic {
+    /// Number of switch ports the process was built for.
+    fn n(&self) -> usize;
+
+    /// Destination of the packet generated at `input` in this slot, if one
+    /// is generated. Called exactly once per `(slot, input)` pair, inputs in
+    /// ascending order.
+    fn arrival(&mut self, slot: u64, input: usize, rng: &mut StdRng) -> Option<usize>;
+}
+
+/// Independent Bernoulli arrivals of rate `load` per input per slot.
+#[derive(Clone, Debug)]
+pub struct Bernoulli {
+    n: usize,
+    load: f64,
+    pattern: DestPattern,
+}
+
+impl Bernoulli {
+    /// Creates the process; `load` is the per-slot generation probability.
+    pub fn new(n: usize, load: f64, pattern: DestPattern) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        Bernoulli { n, load, pattern }
+    }
+}
+
+impl Traffic for Bernoulli {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        rng.gen_bool(self.load)
+            .then(|| self.pattern.sample(self.n, input, rng))
+    }
+}
+
+/// Bursty on-off arrivals.
+///
+/// Each input alternates between ON bursts (one packet per slot, all packets
+/// of a burst share one destination) and OFF gaps. Burst and gap lengths are
+/// geometrically distributed with means `mean_burst` and
+/// `mean_burst · (1 − load) / load`, so the long-run offered load equals
+/// `load` while packets arrive back-to-back — the workload that punishes
+/// schedulers relying on request diversity.
+#[derive(Clone, Debug)]
+pub struct OnOffBursty {
+    n: usize,
+    load: f64,
+    mean_burst: f64,
+    pattern: DestPattern,
+    state: Vec<BurstState>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BurstState {
+    Off,
+    On { dst: usize },
+}
+
+impl OnOffBursty {
+    /// Creates the process with mean burst length `mean_burst` packets.
+    pub fn new(n: usize, load: f64, mean_burst: f64, pattern: DestPattern) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        assert!(mean_burst >= 1.0, "mean burst length must be >= 1");
+        OnOffBursty {
+            n,
+            load,
+            mean_burst,
+            pattern,
+            state: vec![BurstState::Off; n],
+        }
+    }
+
+    /// Probability of leaving the ON state after each packet.
+    fn p_end_burst(&self) -> f64 {
+        1.0 / self.mean_burst
+    }
+
+    /// Probability of starting a burst in an OFF slot, chosen so the
+    /// stationary ON fraction equals `load`.
+    fn p_start_burst(&self) -> f64 {
+        if self.load >= 1.0 {
+            1.0
+        } else {
+            // mean OFF = mean ON * (1 - load) / load ; P(start) = 1 / mean OFF.
+            (self.p_end_burst() * self.load / (1.0 - self.load)).min(1.0)
+        }
+    }
+}
+
+impl Traffic for OnOffBursty {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        match self.state[input] {
+            BurstState::Off => {
+                if rng.gen_bool(self.p_start_burst()) {
+                    let dst = self.pattern.sample(self.n, input, rng);
+                    // The first packet of the burst arrives this slot.
+                    if !rng.gen_bool(self.p_end_burst()) {
+                        self.state[input] = BurstState::On { dst };
+                    }
+                    Some(dst)
+                } else {
+                    None
+                }
+            }
+            BurstState::On { dst } => {
+                if rng.gen_bool(self.p_end_burst()) {
+                    self.state[input] = BurstState::Off;
+                }
+                Some(dst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn uniform_covers_all_outputs() {
+        let mut r = rng();
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[DestPattern::Uniform.sample(8, 0, &mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn non_self_never_hits_own_port() {
+        let mut r = rng();
+        for input in 0..8 {
+            for _ in 0..200 {
+                assert_ne!(DestPattern::UniformNonSelf.sample(8, input, &mut r), input);
+            }
+        }
+    }
+
+    #[test]
+    fn non_self_single_port_degenerates() {
+        let mut r = rng();
+        assert_eq!(DestPattern::UniformNonSelf.sample(1, 0, &mut r), 0);
+    }
+
+    #[test]
+    fn hotspot_fraction_respected() {
+        let mut r = rng();
+        let pat = DestPattern::Hotspot {
+            hot: 3,
+            fraction: 0.5,
+        };
+        let hits = (0..4000).filter(|_| pat.sample(8, 0, &mut r) == 3).count();
+        // 0.5 direct + 0 residual (3 excluded from the uniform remainder).
+        let frac = hits as f64 / 4000.0;
+        assert!((0.45..0.55).contains(&frac), "hot fraction was {frac}");
+    }
+
+    #[test]
+    fn diagonal_only_two_destinations() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = DestPattern::Diagonal.sample(8, 5, &mut r);
+            assert!(d == 5 || d == 6);
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut r = rng();
+        let pat = DestPattern::Permutation(vec![2, 0, 3, 1]);
+        assert_eq!(pat.sample(4, 0, &mut r), 2);
+        assert_eq!(pat.sample(4, 3, &mut r), 1);
+    }
+
+    #[test]
+    fn bernoulli_load_zero_and_one() {
+        let mut r = rng();
+        let mut none = Bernoulli::new(4, 0.0, DestPattern::Uniform);
+        let mut all = Bernoulli::new(4, 1.0, DestPattern::Uniform);
+        for slot in 0..100 {
+            assert!(none.arrival(slot, 0, &mut r).is_none());
+            assert!(all.arrival(slot, 0, &mut r).is_some());
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_approximates_load() {
+        let mut r = rng();
+        let mut t = Bernoulli::new(4, 0.3, DestPattern::Uniform);
+        let arrivals = (0..20_000)
+            .filter(|&slot| t.arrival(slot, 1, &mut r).is_some())
+            .count();
+        let rate = arrivals as f64 / 20_000.0;
+        assert!((0.28..0.32).contains(&rate), "rate was {rate}");
+    }
+
+    #[test]
+    fn bursty_rate_approximates_load() {
+        let mut r = rng();
+        let mut t = OnOffBursty::new(4, 0.4, 8.0, DestPattern::Uniform);
+        let arrivals = (0..100_000)
+            .filter(|&slot| t.arrival(slot, 0, &mut r).is_some())
+            .count();
+        let rate = arrivals as f64 / 100_000.0;
+        assert!((0.36..0.44).contains(&rate), "rate was {rate}");
+    }
+
+    #[test]
+    fn bursty_packets_share_destination_within_burst() {
+        let mut r = rng();
+        let mut t = OnOffBursty::new(8, 0.5, 16.0, DestPattern::Uniform);
+        // Consecutive arrivals overwhelmingly share a destination (a burst
+        // boundary without an OFF gap is possible but rare), and long runs
+        // of same-destination arrivals must exist.
+        let mut last: Option<usize> = None;
+        let (mut pairs, mut same) = (0u32, 0u32);
+        let mut run_len = 0;
+        let mut max_run = 0;
+        for slot in 0..50_000 {
+            match t.arrival(slot, 0, &mut r) {
+                Some(d) => {
+                    if let Some(prev) = last {
+                        pairs += 1;
+                        if prev == d {
+                            same += 1;
+                            run_len += 1;
+                        } else {
+                            run_len = 1;
+                        }
+                    } else {
+                        run_len = 1;
+                    }
+                    max_run = max_run.max(run_len);
+                    last = Some(d);
+                }
+                None => {
+                    last = None;
+                    run_len = 0;
+                }
+            }
+        }
+        assert!(max_run >= 8, "no bursts observed (max run {max_run})");
+        let frac = same as f64 / pairs as f64;
+        assert!(frac > 0.8, "consecutive arrivals rarely correlated: {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in [0,1]")]
+    fn invalid_load_panics() {
+        let _ = Bernoulli::new(4, 1.5, DestPattern::Uniform);
+    }
+}

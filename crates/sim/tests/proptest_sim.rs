@@ -1,0 +1,111 @@
+//! Property-based tests of the simulator: conservation laws and metric
+//! sanity must hold for arbitrary configurations.
+
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};
+use lcf_sim::runner::run_sim;
+use lcf_sim::stats::SimStats;
+use lcf_sim::switch::{IqSwitch, QueueMode};
+use lcf_sim::traffic::{Bernoulli, DestPattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_model() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::OutputBuffered),
+        proptest::sample::select(SchedulerKind::ALL.to_vec()).prop_map(ModelKind::Scheduler),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packet conservation: generated = delivered + dropped + in flight,
+    /// for any model, load and seed.
+    #[test]
+    fn packets_are_conserved(
+        kind in proptest::sample::select(SchedulerKind::VOQ_PRACTICAL.to_vec()),
+        load in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 8;
+        let mut sw = IqSwitch::new(n, kind.build(n, 4, seed), QueueMode::Voq { cap: 16 }, 50);
+        let mut traffic = Bernoulli::new(n, load, DestPattern::Uniform);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = SimStats::new(n, 0, 256);
+        for slot in 0..2_000 {
+            sw.step(slot, &mut traffic, &mut rng, &mut stats);
+        }
+        let accounted = stats.delivered + stats.dropped() + sw.buffered_packets() as u64;
+        prop_assert_eq!(stats.generated, accounted);
+    }
+
+    /// Report sanity: throughput never exceeds offered load or capacity;
+    /// percentiles are ordered; loss rate is a probability.
+    #[test]
+    fn reports_are_sane(
+        model in arb_model(),
+        load in 0.05f64..=1.0,
+        seed in any::<u64>(),
+        bursty in any::<bool>(),
+    ) {
+        let cfg = SimConfig {
+            model,
+            n: 8,
+            load,
+            seed,
+            traffic: if bursty { TrafficKind::Bursty { mean_burst: 4.0 } } else { TrafficKind::Bernoulli },
+            warmup_slots: 500,
+            measure_slots: 3_000,
+            ..SimConfig::paper_default()
+        };
+        let r = run_sim(&cfg);
+        prop_assert!(r.throughput <= 1.0 + 1e-9);
+        // Delivered cannot exceed what entered the system (generated during
+        // the window plus anything the warm-up left queued).
+        let max_carryover = (cfg.n * (cfg.pq_cap + cfg.n * cfg.voq_cap)) as u64;
+        prop_assert!(r.delivered <= r.generated + max_carryover);
+        prop_assert!(r.p50_latency <= r.p99_latency);
+        prop_assert!((0.0..=1.0).contains(&r.loss_rate()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.jain_index));
+        prop_assert!(r.mean_latency() >= 0.0);
+    }
+
+    /// Monotonicity: with everything else fixed, higher load never lowers
+    /// the delivered packet count for a work-conserving scheduler.
+    #[test]
+    fn delivered_grows_with_load(seed in any::<u64>()) {
+        let run = |load: f64| {
+            run_sim(&SimConfig {
+                model: ModelKind::Scheduler(SchedulerKind::LcfCentralRr),
+                n: 8,
+                load,
+                seed,
+                warmup_slots: 500,
+                measure_slots: 4_000,
+                ..SimConfig::paper_default()
+            })
+        };
+        let lo = run(0.2);
+        let hi = run(0.6);
+        prop_assert!(hi.delivered > lo.delivered);
+    }
+}
+
+/// Zero load is a special case worth pinning exactly.
+#[test]
+fn zero_load_is_silent() {
+    let cfg = SimConfig {
+        model: ModelKind::Scheduler(SchedulerKind::Pim),
+        n: 8,
+        load: 0.0,
+        warmup_slots: 100,
+        measure_slots: 1_000,
+        ..SimConfig::paper_default()
+    };
+    let r = run_sim(&cfg);
+    assert_eq!(r.generated, 0);
+    assert_eq!(r.delivered, 0);
+    assert_eq!(r.mean_latency(), 0.0);
+}

@@ -1,0 +1,78 @@
+//! Bursty datacenter-style traffic: on-off flows and a hotspot output.
+//!
+//! The paper's Fig. 12 uses smooth Bernoulli traffic; real cluster traffic
+//! arrives in bursts and often converges on one hot node (incast). This
+//! example stresses the LCF schedulers with both patterns and compares them
+//! against PIM and iSLIP.
+//!
+//! Run with: `cargo run --release --example datacenter_burst`
+
+use lcf_switch::prelude::*;
+
+fn run_case(name: &str, pattern: DestPattern, traffic: TrafficKind, load: f64) {
+    let contenders = [
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::LcfDistRr,
+        SchedulerKind::Pim,
+        SchedulerKind::Islip,
+    ];
+    let configs: Vec<SimConfig> = contenders
+        .iter()
+        .map(|&kind| SimConfig {
+            model: ModelKind::Scheduler(kind),
+            load,
+            pattern: pattern.clone(),
+            traffic: traffic.clone(),
+            warmup_slots: 20_000,
+            measure_slots: 80_000,
+            ..SimConfig::paper_default()
+        })
+        .collect();
+
+    println!("\n== {name} (load {load}) ==");
+    println!(
+        "{:<16} {:>12} {:>9} {:>12} {:>8}",
+        "scheduler", "mean delay", "p99", "throughput", "drops"
+    );
+    for r in sweep(&configs) {
+        println!(
+            "{:<16} {:>9.2} sl {:>6} sl {:>12.3} {:>8}",
+            r.model,
+            r.mean_latency(),
+            r.p99_latency,
+            r.throughput,
+            r.dropped
+        );
+    }
+}
+
+fn main() {
+    println!("16-port switch under datacenter-style traffic");
+
+    // Smooth baseline for reference.
+    run_case(
+        "uniform Bernoulli (paper's workload)",
+        DestPattern::Uniform,
+        TrafficKind::Bernoulli,
+        0.9,
+    );
+
+    // Long on-off bursts: each flow sends 16-packet trains to one target.
+    run_case(
+        "bursty on-off, mean burst 16",
+        DestPattern::Uniform,
+        TrafficKind::Bursty { mean_burst: 16.0 },
+        0.8,
+    );
+
+    // Incast: 30% of all traffic converges on node 0.
+    run_case(
+        "hotspot (30% of traffic to node 0)",
+        DestPattern::Hotspot {
+            hot: 0,
+            fraction: 0.3,
+        },
+        TrafficKind::Bernoulli,
+        0.7,
+    );
+}

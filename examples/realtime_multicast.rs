@@ -1,0 +1,103 @@
+//! Real-time multicast over Clint's precalculated schedule (Sec. 4.3).
+//!
+//! Scenario: host 0 distributes a video stream to three receivers. It
+//! pre-schedules a multicast connection in every cycle's config packet, so
+//! its stream gets hard slot guarantees; twelve other hosts offer heavy
+//! best-effort background traffic that the LCF scheduler fits around the
+//! reservation.
+//!
+//! Run with: `cargo run --release --example realtime_multicast`
+
+use lcf_switch::clint::packets::ConfigPacket;
+use lcf_switch::clint::pipeline::BulkPipeline;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 16;
+const STREAMER: usize = 0;
+const RECEIVERS: [usize; 3] = [5, 9, 13];
+const SLOTS: u64 = 5_000;
+
+fn main() {
+    let mut pipe = BulkPipeline::new(N);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Background hosts keep a simple one-deep request set per slot.
+    let mut stream_transfers = 0u64;
+    let mut background_transfers = 0u64;
+    let mut stream_gaps = 0u64;
+
+    let receiver_mask: u16 = RECEIVERS.iter().map(|&r| 1u16 << r).sum();
+
+    for slot in 0..SLOTS {
+        let configs: Vec<Option<ConfigPacket>> = (0..N)
+            .map(|i| {
+                if i == STREAMER {
+                    // The stream pre-claims its receivers every cycle.
+                    Some(ConfigPacket {
+                        pre: receiver_mask,
+                        ben: 0xFFFF,
+                        qen: 0xFFFF,
+                        ..Default::default()
+                    })
+                } else {
+                    // Background: request 3 random targets (heavy load).
+                    let mut req = 0u16;
+                    for _ in 0..3 {
+                        req |= 1 << rng.gen_range(0..N);
+                    }
+                    Some(ConfigPacket {
+                        req,
+                        ben: 0xFFFF,
+                        qen: 0xFFFF,
+                        ..Default::default()
+                    })
+                }
+            })
+            .collect();
+
+        let events = pipe.step(&configs);
+
+        // Count what traversed the switch this slot (scheduled last slot).
+        if slot > 0 {
+            let stream_hits = events
+                .transfers
+                .iter()
+                .filter(|&&(i, _)| i == STREAMER)
+                .count();
+            if stream_hits == RECEIVERS.len() {
+                stream_transfers += 1;
+            } else {
+                stream_gaps += 1;
+            }
+            background_transfers += events
+                .transfers
+                .iter()
+                .filter(|&&(i, _)| i != STREAMER)
+                .count() as u64;
+        }
+    }
+
+    let carried_slots = SLOTS - 1;
+    println!("Clint real-time multicast demo ({N} hosts, {SLOTS} slots)");
+    println!(
+        "  stream: host {STREAMER} -> hosts {:?} (precalculated multicast)",
+        RECEIVERS
+    );
+    println!(
+        "  stream slots with all {} branches delivered: {stream_transfers}/{carried_slots}",
+        RECEIVERS.len()
+    );
+    println!("  stream slots missed: {stream_gaps}");
+    println!(
+        "  background transfers carried around the reservation: {background_transfers} ({:.2} per slot of {} free outputs)",
+        background_transfers as f64 / carried_slots as f64,
+        N - RECEIVERS.len()
+    );
+
+    assert_eq!(
+        stream_gaps, 0,
+        "a precalculated schedule must never lose its slot"
+    );
+    println!("\nhard real-time guarantee held: the reservation never missed a slot.");
+}

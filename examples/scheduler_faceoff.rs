@@ -1,0 +1,63 @@
+//! Scheduler face-off: all nine Fig. 12 models at one load point.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff [load]`
+//! (default load 0.9 — the region where the schedulers separate).
+
+use lcf_switch::prelude::*;
+
+fn main() {
+    let load: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.9);
+    assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+
+    let configs: Vec<SimConfig> = ModelKind::figure12_lineup()
+        .into_iter()
+        .map(|model| SimConfig {
+            model,
+            load,
+            warmup_slots: 20_000,
+            measure_slots: 100_000,
+            ..SimConfig::paper_default()
+        })
+        .collect();
+
+    println!(
+        "16-port switch, uniform Bernoulli traffic at load {load}, VOQ=256, PQ=1000, 4 iterations"
+    );
+    println!(
+        "{:<16} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "model", "mean delay", "p99", "throughput", "jain", "drops"
+    );
+
+    let reports = sweep(&configs);
+    let outbuf = reports
+        .iter()
+        .find(|r| r.model == "outbuf")
+        .expect("outbuf is in the lineup")
+        .mean_latency();
+
+    for r in &reports {
+        println!(
+            "{:<16} {:>9.2} sl {:>7} sl {:>12.3} {:>10.3} {:>8}",
+            r.model,
+            r.mean_latency(),
+            r.p99_latency,
+            r.throughput,
+            r.jain_index,
+            r.dropped
+        );
+    }
+
+    println!("\nrelative to output buffering (Fig. 12b at this load):");
+    for r in &reports {
+        let bar_len = ((r.mean_latency() / outbuf).min(30.0) * 2.0) as usize;
+        println!(
+            "{:<16} {:>6.2}x {}",
+            r.model,
+            r.mean_latency() / outbuf,
+            "#".repeat(bar_len)
+        );
+    }
+}

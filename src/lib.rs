@@ -1,0 +1,64 @@
+//! # lcf-switch — Least Choice First switch scheduling
+//!
+//! A from-scratch Rust reproduction of *"The Least Choice First Scheduling
+//! Method for High-Speed Network Switches"* (Gura & Eberle, IPPS 2002).
+//!
+//! This meta-crate re-exports the five workspace crates:
+//!
+//! * [`core`] ([`lcf_core`]) — the schedulers: central and distributed LCF,
+//!   PIM, iSLIP, wavefront, FIFO round-robin, and a Hopcroft–Karp
+//!   maximum-size reference matcher.
+//! * [`sim`] ([`lcf_sim`]) — the slot-based switch simulator (VOQ
+//!   input-queued, single-FIFO input-queued and output-buffered models,
+//!   traffic generators, statistics, parallel sweep runner).
+//! * [`clint`] ([`lcf_clint`]) — the Clint cluster-interconnect model
+//!   (bulk/quick channels, config/grant packet codecs with CRC-16,
+//!   precalculated multicast schedules, 3-stage bulk pipeline).
+//! * [`fabric`] ([`lcf_fabric`]) — non-blocking fabrics: crosspoint-level
+//!   crossbar and 3-stage Clos networks with an edge-coloring router.
+//! * [`hw`] ([`lcf_hw`]) — hardware models: gate counts, cycle timing,
+//!   communication bits, and a cycle-accurate RTL model of the Fig. 6
+//!   scheduler verified against the behavioral implementation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lcf_switch::prelude::*;
+//!
+//! // Schedule one slot of a 4-port switch by hand...
+//! let requests = RequestMatrix::from_pairs(4, [(0, 1), (1, 1), (2, 0)]);
+//! let mut lcf = CentralLcf::with_round_robin(4);
+//! let matching = lcf.schedule(&requests);
+//! assert!(matching.is_valid_for(&requests));
+//!
+//! // ...or simulate the paper's 16-port switch at 80% load.
+//! let cfg = SimConfig {
+//!     load: 0.8,
+//!     warmup_slots: 1_000,
+//!     measure_slots: 5_000,
+//!     ..SimConfig::paper_default()
+//! };
+//! let report = run_sim(&cfg);
+//! assert!(report.throughput > 0.75);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `lcf-bench` crate for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lcf_clint as clint;
+pub use lcf_core as core;
+pub use lcf_fabric as fabric;
+pub use lcf_hw as hw;
+pub use lcf_sim as sim;
+
+/// One-stop re-exports for applications.
+pub mod prelude {
+    pub use lcf_clint::prelude::*;
+    pub use lcf_core::prelude::*;
+    pub use lcf_fabric::prelude::*;
+    pub use lcf_sim::config::TrafficKind;
+    pub use lcf_sim::prelude::*;
+}

@@ -1,0 +1,132 @@
+//! End-to-end Clint integration: both channels, wire-format control
+//! packets, error injection — through the public API only.
+
+use lcf_switch::prelude::*;
+
+#[test]
+fn clint_cluster_carries_mixed_traffic() {
+    let report = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.5,
+        quick_load: 0.2,
+        cfg_error_rate: 0.0,
+        gnt_error_rate: 0.0,
+        slots: 20_000,
+        seed: 7,
+    })
+    .run();
+
+    // Bulk: scheduled, collision-free, pipeline latency >= 1 slot.
+    assert!(report.bulk_delivered > 0);
+    assert!(report.bulk_mean_latency >= 1.0);
+    // Quick: immediate at this load, some collisions are fine.
+    assert!(report.quick_delivered > 0);
+    assert!(report.quick_mean_latency < report.bulk_mean_latency);
+    // Request-acknowledgment protocol: every bulk transfer is acked.
+    assert!(report.acks_received as f64 >= report.bulk_delivered as f64 * 0.999);
+}
+
+#[test]
+fn clint_survives_noisy_control_plane() {
+    let clean = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.6,
+        quick_load: 0.0,
+        cfg_error_rate: 0.0,
+        gnt_error_rate: 0.0,
+        slots: 20_000,
+        seed: 11,
+    })
+    .run();
+    let noisy = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.6,
+        quick_load: 0.0,
+        cfg_error_rate: 0.1,
+        gnt_error_rate: 0.0,
+        slots: 20_000,
+        seed: 11,
+    })
+    .run();
+
+    assert!(
+        noisy.cfg_crc_errors > 1_000,
+        "10% corruption over 320k packets"
+    );
+    // Corruption slows the bulk channel but never breaks it.
+    assert!(noisy.bulk_mean_latency > clean.bulk_mean_latency);
+    assert!(noisy.bulk_delivered as f64 > clean.bulk_delivered as f64 * 0.8);
+}
+
+#[test]
+fn segregation_tradeoff_is_visible() {
+    // The architectural claim of Sec. 4: bulk pays scheduling latency but
+    // sustains high load; quick is fast when idle but collapses under load.
+    let idle_quick = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.0,
+        quick_load: 0.05,
+        slots: 20_000,
+        ..Default::default()
+    })
+    .run();
+    assert!(
+        idle_quick.quick_mean_latency < 0.2,
+        "idle quick channel is immediate"
+    );
+
+    let busy_quick = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.0,
+        quick_load: 0.9,
+        slots: 20_000,
+        ..Default::default()
+    })
+    .run();
+    let collision_rate = busy_quick.quick_collisions as f64
+        / (busy_quick.quick_collisions + busy_quick.quick_delivered) as f64;
+    assert!(collision_rate > 0.2, "busy quick channel collides heavily");
+
+    let busy_bulk = ClintSim::new(ClintConfig {
+        n: 16,
+        bulk_load: 0.9,
+        quick_load: 0.0,
+        slots: 20_000,
+        ..Default::default()
+    })
+    .run();
+    // Scheduled channel: high goodput, zero collisions by construction.
+    assert!(busy_bulk.bulk_delivered as f64 > busy_bulk.bulk_generated as f64 * 0.9);
+}
+
+#[test]
+fn packet_codecs_are_the_wire_contract() {
+    // Every field of both packet formats survives an encode/decode trip.
+    let cfg = ConfigPacket {
+        req: 0xA5A5,
+        pre: 0x0F0F,
+        ben: 0xFFFF,
+        qen: 0x7FFF,
+    };
+    assert_eq!(ConfigPacket::decode(&cfg.encode()), Ok(cfg));
+
+    let gnt = GrantPacket {
+        node_id: 15,
+        gnt: 9,
+        gnt_val: true,
+        link_err: true,
+        crc_err: false,
+    };
+    assert_eq!(GrantPacket::decode(&gnt.encode()), Ok(gnt));
+
+    // And corruption anywhere is caught (the CRC contract).
+    let wire = cfg.encode();
+    for i in 0..wire.len() {
+        let mut bad = wire.clone();
+        bad[i] ^= 0x01;
+        assert!(
+            ConfigPacket::decode(&bad).is_err(),
+            "flip at byte {i} undetected"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The headline result, as a fast integration test: the latency ordering of
+//! Fig. 12 must hold. Uses shorter windows than the fig12 binary but the
+//! same model; the assertions are on orderings (robust), not point values.
+
+use lcf_switch::prelude::*;
+
+fn latency(model: ModelKind, load: f64) -> f64 {
+    let cfg = SimConfig {
+        model,
+        load,
+        warmup_slots: 10_000,
+        measure_slots: 40_000,
+        ..SimConfig::paper_default()
+    };
+    run_sim(&cfg).mean_latency()
+}
+
+fn sweep_latencies(load: f64) -> std::collections::HashMap<String, f64> {
+    let configs: Vec<SimConfig> = ModelKind::figure12_lineup()
+        .into_iter()
+        .map(|model| SimConfig {
+            model,
+            load,
+            warmup_slots: 10_000,
+            measure_slots: 40_000,
+            ..SimConfig::paper_default()
+        })
+        .collect();
+    sweep(&configs)
+        .into_iter()
+        .map(|r| (r.model.clone(), r.mean_latency()))
+        .collect()
+}
+
+/// At high load (0.9): outbuf < lcf_central < {distributed LCF family} <=
+/// pim-ish pack << fifo. These are the orderings Sec. 6.3 calls out.
+#[test]
+fn figure12_high_load_ordering() {
+    let lat = sweep_latencies(0.9);
+    let get = |m: &str| lat[m];
+
+    // outbuf is the lower envelope.
+    for model in [
+        "lcf_central",
+        "lcf_central_rr",
+        "lcf_dist",
+        "lcf_dist_rr",
+        "pim",
+        "islip",
+        "wfront",
+        "fifo",
+    ] {
+        assert!(
+            get("outbuf") < get(model),
+            "outbuf ({}) must beat {model} ({})",
+            get("outbuf"),
+            get(model)
+        );
+    }
+
+    // lcf_central performs significantly better than any other scheduler.
+    for model in ["lcf_dist", "lcf_dist_rr", "pim", "islip", "wfront", "fifo"] {
+        assert!(
+            get("lcf_central") < get(model),
+            "lcf_central ({}) must beat {model} ({})",
+            get("lcf_central"),
+            get(model)
+        );
+    }
+
+    // The distributed LCF schedulers beat PIM at 0.9 (Sec. 6.3: lcf_dist
+    // has lower latency than pim up to 0.9).
+    assert!(get("lcf_dist") < get("pim"));
+
+    // fifo is the worst by a wide margin (head-of-line blocking).
+    for model in [
+        "lcf_central",
+        "lcf_dist",
+        "pim",
+        "islip",
+        "wfront",
+        "outbuf",
+    ] {
+        assert!(get("fifo") > 5.0 * get(model), "fifo must collapse at 0.9");
+    }
+}
+
+/// "For low load, the latencies for the various schedulers differ very
+/// little" (Sec. 6.3).
+#[test]
+fn figure12_low_load_convergence() {
+    let lat = sweep_latencies(0.2);
+    let voq_models = [
+        "lcf_central",
+        "lcf_central_rr",
+        "lcf_dist",
+        "lcf_dist_rr",
+        "pim",
+        "islip",
+        "wfront",
+    ];
+    let min = voq_models
+        .iter()
+        .map(|&m| lat[m])
+        .fold(f64::INFINITY, f64::min);
+    let max = voq_models.iter().map(|&m| lat[m]).fold(0.0, f64::max);
+    assert!(
+        max - min < 0.2,
+        "VOQ schedulers must be near-identical at low load (min {min}, max {max})"
+    );
+}
+
+/// lcf_central sits around 1.4x outbuf at high load (Sec. 6.3 reads "about
+/// 1.4 times"); allow a generous band since windows are short.
+#[test]
+fn figure12_lcf_central_ratio() {
+    let ob = latency(ModelKind::OutputBuffered, 0.9);
+    let lcf = latency(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.9);
+    let ratio = lcf / ob;
+    assert!(
+        (1.1..1.9).contains(&ratio),
+        "lcf_central/outbuf ratio {ratio} out of the paper's band"
+    );
+}
+
+/// The round-robin crossover: lcf_central_rr is slightly worse than
+/// lcf_central up to ~0.9 but better beyond (Sec. 6.3 highlights the trend
+/// change above 0.9).
+#[test]
+fn figure12_round_robin_crossover() {
+    let below = sweep_latencies(0.8);
+    assert!(
+        below["lcf_central_rr"] >= below["lcf_central"] * 0.95,
+        "below the crossover the RR variant should not win decisively"
+    );
+    let above = sweep_latencies(0.97);
+    assert!(
+        above["lcf_central_rr"] < above["lcf_central"],
+        "beyond load 0.9 the RR variant must take the lead ({} vs {})",
+        above["lcf_central_rr"],
+        above["lcf_central"]
+    );
+}
+
+/// fifo saturates near the Karol 0.586 ceiling while VOQ schedulers carry
+/// full offered load.
+#[test]
+fn fifo_throughput_ceiling() {
+    let mk = |model| SimConfig {
+        model,
+        load: 1.0,
+        warmup_slots: 10_000,
+        measure_slots: 40_000,
+        ..SimConfig::paper_default()
+    };
+    let fifo = run_sim(&mk(ModelKind::Scheduler(SchedulerKind::Fifo)));
+    assert!(
+        (0.55..0.65).contains(&fifo.throughput),
+        "fifo throughput {} should sit at the HOL ceiling",
+        fifo.throughput
+    );
+    let lcf = run_sim(&mk(ModelKind::Scheduler(SchedulerKind::LcfCentralRr)));
+    assert!(
+        lcf.throughput > 0.95,
+        "VOQ LCF throughput {}",
+        lcf.throughput
+    );
+}

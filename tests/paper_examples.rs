@@ -1,0 +1,165 @@
+//! Cross-crate integration tests pinning every worked example and analytic
+//! number in the paper (see DESIGN.md's experiment index).
+
+use lcf_switch::prelude::*;
+
+/// Fig. 3 — the central LCF walkthrough, end to end through the public API.
+#[test]
+fn figure3_central_schedule() {
+    let requests = RequestMatrix::from_pairs(
+        4,
+        [
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 2),
+            (1, 3),
+            (2, 0),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+        ],
+    );
+    let mut sched = CentralLcf::with_round_robin(4);
+    sched.advance_pointer(); // Fig. 3 shows the I=1, J=0 diagonal
+    let m = sched.schedule(&requests);
+    assert_eq!(
+        m.pairs().collect::<Vec<_>>(),
+        vec![(0, 2), (1, 0), (2, 3), (3, 1)],
+        "grants must be [I1,T0], [I3,T1], [I0,T2], [I2,T3]"
+    );
+}
+
+/// Fig. 9 — two iterations of the distributed scheduler.
+#[test]
+fn figure9_distributed_schedule() {
+    let requests = RequestMatrix::from_pairs(
+        4,
+        [
+            (0, 2),
+            (1, 0),
+            (1, 2),
+            (1, 3),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+            (3, 3),
+        ],
+    );
+    let mut sched = DistributedLcf::pure(4, 2);
+    let m = sched.schedule(&requests);
+    assert_eq!(
+        m.size(),
+        4,
+        "Fig. 9 completes the matching in two iterations"
+    );
+    assert_eq!(
+        m.output_for(0),
+        Some(2),
+        "T2 grants I0 (one request, highest priority)"
+    );
+    assert_eq!(
+        m.output_for(3),
+        Some(1),
+        "I3 accepts T1 over T3 (lower NGT)"
+    );
+}
+
+/// Table 1 — gate/register counts at n = 16.
+#[test]
+fn table1_numbers() {
+    let m = lcf_switch::hw::gates::GateModel::new(16);
+    assert_eq!(m.distributed().gates, 7200);
+    assert_eq!(m.distributed().regs, 1376);
+    assert_eq!(m.central().gates, 767);
+    assert_eq!(m.central().regs, 216);
+    assert_eq!(m.total().gates, 7967);
+    assert_eq!(m.total().regs, 1592);
+}
+
+/// Table 2 — cycle counts and times at 66 MHz.
+#[test]
+fn table2_numbers() {
+    let t = lcf_switch::hw::timing::TimingModel::paper(16);
+    let rows = t.table2();
+    assert_eq!(
+        rows.iter().map(|r| r.cycles).collect::<Vec<_>>(),
+        vec![33, 50, 83]
+    );
+    for (row, expect_ns) in rows.iter().zip([500.0, 757.6, 1257.6]) {
+        assert!(
+            (row.time_ns - expect_ns).abs() < 1.0,
+            "{}: {}",
+            row.task,
+            row.time_ns
+        );
+    }
+}
+
+/// Fig. 10 — communication formulas.
+#[test]
+fn figure10_formulas() {
+    use lcf_switch::hw::comm;
+    assert_eq!(comm::central_bits(16), 16 * (16 + 4 + 1));
+    assert_eq!(comm::distributed_bits(16, 4), 4 * 256 * 11);
+    assert!(comm::overhead_ratio(16, 4) > 30.0);
+}
+
+/// Fig. 5 — the Clint bulk pipeline timing, via the packet codecs (the
+/// config packets travel in their wire format).
+#[test]
+fn figure5_pipeline_with_wire_packets() {
+    use lcf_switch::clint::pipeline::BulkPipeline;
+
+    let mut pipe = BulkPipeline::new(2);
+    let cfg0 = ConfigPacket {
+        req: 0b10,
+        ben: 0xFFFF,
+        qen: 0xFFFF,
+        ..Default::default()
+    };
+    let cfg1 = ConfigPacket {
+        req: 0b01,
+        ben: 0xFFFF,
+        qen: 0xFFFF,
+        ..Default::default()
+    };
+    // Encode to the wire and decode on the switch side, as Clint does.
+    let decode = |p: &ConfigPacket| ConfigPacket::decode(&p.encode()).ok();
+    let configs = [decode(&cfg0), decode(&cfg1)];
+
+    let c = pipe.step(&configs);
+    assert!(c.grants.iter().all(|g| g.gnt_val && !g.crc_err));
+    let c1 = pipe.step(&[None, None]);
+    assert_eq!(c1.transfers, vec![(0, 1), (1, 0)]);
+    let c2 = pipe.step(&[None, None]);
+    assert_eq!(c2.acks, vec![(0, 1), (1, 0)]);
+}
+
+/// Fig. 7 — precalculated multicast checked end to end.
+#[test]
+fn figure7_precalculated_multicast() {
+    let precalc = PrecalcSchedule::from_claims(4, [(3, 1), (3, 3)]);
+    let requests = RequestMatrix::from_pairs(4, [(0, 0), (1, 0), (1, 1), (2, 2), (2, 3)]);
+    let mut sched = lcf_switch::clint::precalc::ClintScheduler::new(4);
+    let slot = sched.schedule(&requests, &precalc);
+    assert!(slot.precalc.is_multicast(3));
+    assert_eq!(slot.precalc.targets_of(3), vec![1, 3]);
+    // LCF fills T0 and T2 around the reservation.
+    assert!(slot.lcf.input_for(0).is_some());
+    assert!(slot.lcf.input_for(2).is_some());
+    assert_eq!(slot.dropped_claims, 0);
+}
+
+/// Sec. 1 — the Clint deployment numbers: a 16-port switch rescheduled
+/// every 8.5 µs with 1.3 µs scheduling time.
+#[test]
+fn clint_deployment_timing() {
+    let t = lcf_switch::hw::timing::TimingModel::paper(16);
+    let schedule_us = t.cycles_to_ns(t.total_cycles()) / 1000.0;
+    assert!(schedule_us < 1.3);
+    // The scheduler is pipelined with forwarding, so the 8.5 µs slot has
+    // ample room for the 1.26 µs schedule computation.
+    assert!(schedule_us < 8.5 / 2.0);
+}
