@@ -1,0 +1,420 @@
+//! Source-compatible subset of `criterion` for offline builds.
+//!
+//! A wall-clock micro-benchmark harness implementing the API surface the
+//! workspace's benches use: [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups, [`BenchmarkId`], [`Throughput`]
+//! and `Bencher::iter`. Differences from upstream:
+//!
+//! * measurement is simple adaptive timing (geometric warm-up to calibrate,
+//!   then fixed-duration samples; min/median/max reported),
+//! * `--test` (what `cargo test` passes to bench targets) runs every
+//!   routine exactly once, so test runs stay fast,
+//! * setting `CRITERION_JSON=<path>` writes all results as JSON — used to
+//!   commit `BENCH_schedulers.json` baselines,
+//! * the first non-flag CLI argument filters benchmarks by substring.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration (scales reported throughput).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full id, `group/function/parameter`.
+    pub id: String,
+    /// Fastest sample, in ns per iteration.
+    pub ns_min: f64,
+    /// Median sample, in ns per iteration.
+    pub ns_median: f64,
+    /// Slowest sample, in ns per iteration.
+    pub ns_max: f64,
+    /// Declared elements per iteration, if any.
+    pub elements: Option<u64>,
+}
+
+/// The harness entry point; one per process, created by [`criterion_main!`].
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_ms: u64,
+    samples: usize,
+    results: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .map(|s| s.to_string());
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11);
+        Criterion {
+            filter,
+            test_mode,
+            sample_ms,
+            samples,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into().id, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_time: Duration::from_millis(self.sample_ms),
+            samples: self.samples,
+            record: None,
+        };
+        f(&mut bencher);
+        let Some((ns_min, ns_median, ns_max)) = bencher.record else {
+            return; // routine never called iter (or test mode)
+        };
+        let elements = match throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            _ => None,
+        };
+        let rate = elements
+            .map(|e| {
+                format!(
+                    "  ({:.1} Melem/s)",
+                    e as f64 * 1e9 / ns_median / 1_000_000.0
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{id:<48} time: [{} {} {}]{rate}",
+            fmt_ns(ns_min),
+            fmt_ns(ns_median),
+            fmt_ns(ns_max)
+        );
+        self.results.push(BenchRecord {
+            id,
+            ns_min,
+            ns_median,
+            ns_max,
+            elements,
+        });
+    }
+
+    /// All measurements so far (used by JSON emission and tests).
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
+    }
+
+    /// Prints the run summary and honors `CRITERION_JSON`.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion (shim): test mode, every routine ran once");
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            match std::fs::write(&path, results_to_json(&self.results)) {
+                Ok(()) => println!("criterion (shim): wrote {path}"),
+                Err(e) => eprintln!("criterion (shim): cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Serializes records as a stable, diffable JSON document.
+pub fn results_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let elements = r
+            .elements
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_min\": {:.2}, \"ns_median\": {:.2}, \"ns_max\": {:.2}, \"elements\": {}}}{}\n",
+            r.id.replace('"', "\\\""),
+            r.ns_min,
+            r.ns_median,
+            r.ns_max,
+            elements,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a routine under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a routine that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion
+            .run_one(full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    test_mode: bool,
+    sample_time: Duration,
+    samples: usize,
+    record: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing (min, median, max) ns per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Geometric warm-up until one batch takes long enough to time
+        // reliably; this also calibrates the batch size.
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= (1 << 30) {
+                break;
+            }
+            batch *= 2;
+        }
+        let per_iter_ns = (elapsed.as_nanos() as f64 / batch as f64).max(0.1);
+        let iters_per_sample =
+            ((self.sample_time.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let max = samples_ns[samples_ns.len() - 1];
+        self.record = Some((min, median, max));
+    }
+}
+
+/// Bundles bench functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            sample_ms: 1,
+            samples: 3,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| black_box(2u64).wrapping_mul(3))
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "g/f/p");
+        assert!(r.ns_min <= r.ns_median && r.ns_median <= r.ns_max);
+        assert!(r.ns_median > 0.0);
+        assert_eq!(r.elements, Some(4));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = quick();
+        c.filter = Some("nomatch".into());
+        c.bench_function("other", |b| b.iter(|| 1u8));
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = quick();
+        c.test_mode = true;
+        let mut count = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let records = vec![BenchRecord {
+            id: "a/b".into(),
+            ns_min: 1.0,
+            ns_median: 2.0,
+            ns_max: 3.0,
+            elements: None,
+        }];
+        let json = results_to_json(&records);
+        assert!(json.contains("\"id\": \"a/b\""));
+        assert!(json.contains("\"elements\": null"));
+        assert!(json.ends_with("]\n}\n"));
+    }
+}

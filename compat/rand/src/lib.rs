@@ -1,0 +1,337 @@
+//! Source-compatible subset of the `rand` crate backed by [`lcf_rng`].
+//!
+//! The build environment is offline, so the real `rand` cannot be fetched.
+//! This shim implements exactly the surface the workspace uses — the [`Rng`]
+//! extension trait (`gen_range`, `gen_bool`, `gen`), [`SeedableRng`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom`] — with one deliberate
+//! difference from upstream: **`StdRng` is [`lcf_rng::ChaCha8Rng`]**, whose
+//! stream is frozen and golden-tested, so seeded runs are reproducible
+//! forever (upstream `StdRng` explicitly reserves the right to change
+//! algorithm between releases).
+//!
+//! Value derivation is also frozen and documented per method; see
+//! [`Rng::gen_range`] and [`Rng::gen_bool`].
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits: the object-safe core trait.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<const ROUNDS: u32> RngCore for lcf_rng::ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        lcf_rng::ChaChaRng::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        lcf_rng::ChaChaRng::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        lcf_rng::ChaChaRng::fill_bytes(self, dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from their whole domain via
+/// [`Rng::gen`] (the shim's version of upstream's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+                   usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                   i64 => next_u64, isize => next_u64);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision: `(u64 >> 11) * 2⁻⁵³`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts. Generic over the element type
+/// (rather than an associated type) so integer literals in a range unify
+/// with the type the surrounding expression expects, as with upstream rand.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform `u64` in `[0, bound)` without modulo bias, using
+/// Lemire's widening-multiply rejection method. `bound` must be nonzero.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Fast path for power-of-two bounds: a mask is exact and unbiased.
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let m = (rng.next_u64() as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample_standard(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let unit = f64::sample_standard(rng);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// The user-facing extension trait, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value over `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Uniform value over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed (frozen derivation; see
+    /// [`lcf_rng::ChaChaRng::from_u64_seed`]).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl<const ROUNDS: u32> SeedableRng for lcf_rng::ChaChaRng<ROUNDS> {
+    fn seed_from_u64(seed: u64) -> Self {
+        lcf_rng::ChaChaRng::from_u64_seed(seed)
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    /// The standard seeded generator of this workspace.
+    ///
+    /// Unlike upstream `rand`, this is **defined** to be
+    /// [`lcf_rng::ChaCha8Rng`] — an explicitly named, frozen algorithm — so
+    /// a stored seed reproduces a run bit-identically on any build.
+    pub type StdRng = lcf_rng::ChaCha8Rng;
+
+    /// Alias kept for call sites that want a small fast generator; same
+    /// ChaCha8 core (speed is irrelevant next to determinism here).
+    pub type SmallRng = lcf_rng::ChaCha8Rng;
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (the subset of upstream's `SliceRandom` we use).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates, back to front).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[rng.gen_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10,000; 6 sigma ≈ ±537.
+            assert!((9_400..10_600).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn unit_float_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        // With 20 elements an identity shuffle is astronomically unlikely.
+        assert_ne!(v, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let av: Vec<usize> = (0..50).map(|_| a.gen_range(0..1000)).collect();
+        let bv: Vec<usize> = (0..50).map(|_| b.gen_range(0..1000)).collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn trait_objects_work_through_mut_ref() {
+        fn takes_impl(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = takes_impl(&mut rng);
+    }
+}

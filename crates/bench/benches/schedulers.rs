@@ -1,7 +1,12 @@
 //! Criterion bench: cost of one scheduling decision, per scheduler, at the
-//! paper's n = 16 across request densities (EXT-5).
+//! paper's n = 16 across request densities (EXT-5), plus the word-parallel
+//! kernel comparison (scalar vs bitset backend) across port counts.
+//!
+//! Regenerate the committed baseline with
+//! `CRITERION_JSON=results/BENCH_schedulers.json cargo bench --bench schedulers`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcf_core::bitkern::Backend;
 use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
 use rand::rngs::StdRng;
@@ -49,5 +54,39 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// Scalar vs word-parallel kernels for every scheduler that has both, at
+/// n = 8..64. The bitset kernels are the production default; the scalar
+/// reference is what the paper's Fig. 2 pseudocode transliterates to.
+fn bench_kernels(c: &mut Criterion) {
+    let kinds = [
+        SchedulerKind::LcfCentral,
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::Pim,
+        SchedulerKind::Islip,
+        SchedulerKind::Wavefront,
+    ];
+    for backend in [Backend::Scalar, Backend::Bitset] {
+        let mut group = c.benchmark_group(format!("kernel_{backend}"));
+        for kind in kinds {
+            for n in [8usize, 16, 32, 64] {
+                let mut rng = StdRng::seed_from_u64(7);
+                let pool: Vec<RequestMatrix> = (0..64)
+                    .map(|_| RequestMatrix::random(n, 0.5, &mut rng))
+                    .collect();
+                let mut sched = kind.build_with_backend(n, 4, 11, backend);
+                let mut idx = 0usize;
+                group.bench_with_input(BenchmarkId::new(kind.name(), n), &pool, |b, pool| {
+                    b.iter(|| {
+                        let m = sched.schedule(&pool[idx % pool.len()]);
+                        idx += 1;
+                        std::hint::black_box(m.size())
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedulers, bench_kernels);
 criterion_main!(benches);

@@ -28,7 +28,7 @@ pub fn help() -> String {
      \x20            --scheduler <name|outbuf> --load 0.8 [--ports 16]\n\
      \x20            [--slots 100000] [--warmup 20000] [--seed N]\n\
      \x20            [--pattern uniform|nonself|diagonal|hotspot:PORT:FRAC]\n\
-     \x20            [--bursty MEAN_BURST]\n\
+     \x20            [--bursty MEAN_BURST] [--backend bitset|scalar]\n\
      \x20 sweep      simulate many (scheduler, load) points\n\
      \x20            --loads 0.5,0.8,0.9 [--schedulers all|a,b,c] [...simulate opts]\n\
      \x20 hw         hardware cost summary [--ports 16] [--clock-mhz 66]\n\
@@ -88,6 +88,11 @@ fn sim_config(args: &Args, model: ModelKind) -> Result<SimConfig, String> {
         voq_cap: args.get_parsed("voq", 256usize)?,
         outbuf_cap: args.get_parsed("outbuf", 256usize)?,
         max_latency_bucket: 4096,
+        backend: match args.get("backend") {
+            None => lcf_core::bitkern::Backend::default(),
+            Some(name) => lcf_core::bitkern::Backend::from_name(name)
+                .ok_or_else(|| format!("unknown backend `{name}` (want scalar|bitset)"))?,
+        },
     };
     cfg.validate()?;
     Ok(cfg)

@@ -190,8 +190,8 @@ impl ClintSim {
                 let mut wire = pkt.encode();
                 if self.cfg.cfg_error_rate > 0.0 && self.rng.gen_bool(self.cfg.cfg_error_rate) {
                     let byte = self.rng.gen_range(0..wire.len());
-                    let bit = self.rng.gen_range(0..8);
-                    wire[byte] ^= 1 << bit;
+                    let bit = self.rng.gen_range(0..8u32);
+                    wire[byte] ^= 1u8 << bit;
                 }
                 match ConfigPacket::decode(&wire) {
                     Ok(decoded) => Some(decoded),
@@ -229,7 +229,7 @@ impl ClintSim {
                 let mut wire = g.encode();
                 if self.cfg.gnt_error_rate > 0.0 && self.rng.gen_bool(self.cfg.gnt_error_rate) {
                     let byte = self.rng.gen_range(0..wire.len());
-                    wire[byte] ^= 1 << self.rng.gen_range(0..8);
+                    wire[byte] ^= 1u8 << self.rng.gen_range(0..8u32);
                 }
                 let Ok(g) = crate::packets::GrantPacket::decode(&wire) else {
                     self.report.gnt_crc_errors += 1;

@@ -1,0 +1,262 @@
+//! Word-parallel kernels for the matching schedulers.
+//!
+//! For switches with `n <= 64` ports — every configuration the paper
+//! evaluates — a whole request-matrix row fits in one `u64`, so the scans
+//! that dominate scheduler inner loops collapse into word operations:
+//!
+//! * candidate filtering is a single `AND` of a column mask against a
+//!   free-inputs mask,
+//! * rotating-priority selection ("first requester at or after the
+//!   pointer") is two `trailing_zeros` probes on a split mask,
+//! * NRQ maintenance is `count_ones` on row words,
+//! * uniform random choice among candidates is a popcount plus a
+//!   k-th-set-bit select.
+//!
+//! Each scheduler keeps its scalar implementation as the reference — the
+//! bit kernels are required (and property-tested) to produce *identical*
+//! matchings, grant for grant, so the scalar path stays selectable via
+//! [`Backend::Scalar`] for differential testing and for `n > 64`.
+
+use crate::bitmat::BitMatrix;
+
+/// Largest port count the single-word kernels handle: one row per `u64`.
+pub const WORD_PORTS: usize = 64;
+
+/// Which matching-kernel implementation a scheduler uses.
+///
+/// `Bitset` is the default; schedulers silently fall back to the scalar
+/// reference when `n >` [`WORD_PORTS`], so the choice is a pure performance
+/// dial and never changes results: both backends are bit-identical by
+/// construction (enforced by equivalence property tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Reference implementation: index arithmetic and per-bit probes.
+    Scalar,
+    /// Word-parallel implementation on `u64` row/column masks.
+    #[default]
+    Bitset,
+}
+
+impl Backend {
+    /// Registry/CLI name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Bitset => "bitset",
+        }
+    }
+
+    /// Parses a backend name.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "scalar" => Some(Backend::Scalar),
+            "bitset" => Some(Backend::Bitset),
+            _ => None,
+        }
+    }
+
+    /// True if the word kernels apply for an `n`-port switch.
+    #[inline]
+    pub fn word_parallel(self, n: usize) -> bool {
+        self == Backend::Bitset && n <= WORD_PORTS
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A mask with bits `[0, n)` set.
+///
+/// # Panics
+/// Panics (in debug) if `n` is 0 or exceeds [`WORD_PORTS`].
+#[inline]
+pub fn mask_n(n: usize) -> u64 {
+    debug_assert!((1..=WORD_PORTS).contains(&n));
+    if n == WORD_PORTS {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Loads each row of `m` into one word of `rows`. Requires `n <= 64`.
+pub fn load_rows(m: &BitMatrix, rows: &mut Vec<u64>) {
+    let n = m.n();
+    assert!(n <= WORD_PORTS, "load_rows requires n <= {WORD_PORTS}");
+    rows.clear();
+    rows.extend((0..n).map(|i| m.row_words(i)[0]));
+}
+
+/// Computes per-column masks (the transpose): bit `i` of `cols[j]` is bit
+/// `j` of `rows[i]`. Runs in `O(set bits)`.
+pub fn col_masks(rows: &[u64], cols: &mut Vec<u64>) {
+    cols.clear();
+    cols.resize(rows.len(), 0);
+    for (i, &row) in rows.iter().enumerate() {
+        let mut r = row;
+        while r != 0 {
+            let j = r.trailing_zeros() as usize;
+            r &= r - 1;
+            cols[j] |= 1u64 << i;
+        }
+    }
+}
+
+/// First set bit of `mask` in the rotating order
+/// `start, start+1, …, start+n-1 (mod n)` — the word-parallel form of
+/// [`select_rotating`](crate::arbiter::select_rotating). Bits of `mask` at
+/// or beyond `n` must be zero.
+#[inline]
+pub fn rotating_first(mask: u64, n: usize, start: usize) -> Option<usize> {
+    debug_assert!(start < n && n <= WORD_PORTS);
+    debug_assert_eq!(mask & !mask_n(n), 0, "mask has bits beyond n");
+    // Two probes: the segment [start, n) wins outright; otherwise wrap to
+    // [0, start). `start < 64` so the shifts are in range.
+    let upper = mask & (u64::MAX << start);
+    if upper != 0 {
+        return Some(upper.trailing_zeros() as usize);
+    }
+    let lower = mask & !(u64::MAX << start);
+    if lower != 0 {
+        return Some(lower.trailing_zeros() as usize);
+    }
+    None
+}
+
+/// The position of the `k`-th set bit of `mask` (ascending, 0-based).
+///
+/// # Panics
+/// Panics (in debug) if `mask` has fewer than `k + 1` set bits.
+#[inline]
+pub fn kth_set_bit(mask: u64, k: usize) -> usize {
+    debug_assert!((mask.count_ones() as usize) > k, "k-th set bit absent");
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros() as usize
+}
+
+/// Among the set bits of `mask`, the index minimizing `key`, ties broken by
+/// the rotating order starting at `start` — the word-parallel form of
+/// [`min_rotating`](crate::arbiter::min_rotating) restricted to mask
+/// membership. Bits of `mask` at or beyond `n` must be zero.
+#[inline]
+pub fn min_key_rotating(mask: u64, n: usize, start: usize, key: &[usize]) -> Option<usize> {
+    debug_assert!(start < n && n <= WORD_PORTS);
+    let mut best: Option<(usize, usize)> = None; // (key, idx)
+                                                 // Enumerating [start, n) ascending then [0, start) ascending visits the
+                                                 // candidates in exactly the rotating order, so keeping the first strict
+                                                 // minimum reproduces the scalar tie-break.
+    let upper = mask & (u64::MAX << start);
+    let lower = mask & !(u64::MAX << start);
+    for part in [upper, lower] {
+        let mut m = part;
+        while m != 0 {
+            let idx = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let kv = key[idx];
+            match best {
+                Some((bk, _)) if bk <= kv => {}
+                _ => best = Some((kv, idx)),
+            }
+        }
+    }
+    best.map(|(_, idx)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{min_rotating, select_rotating};
+
+    #[test]
+    fn mask_n_extremes() {
+        assert_eq!(mask_n(1), 1);
+        assert_eq!(mask_n(5), 0b11111);
+        assert_eq!(mask_n(64), u64::MAX);
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in [Backend::Scalar, Backend::Bitset] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("simd"), None);
+        assert_eq!(Backend::default(), Backend::Bitset);
+    }
+
+    #[test]
+    fn word_parallel_gate() {
+        assert!(Backend::Bitset.word_parallel(64));
+        assert!(!Backend::Bitset.word_parallel(65));
+        assert!(!Backend::Scalar.word_parallel(8));
+    }
+
+    #[test]
+    fn load_rows_and_col_masks_transpose() {
+        let m = BitMatrix::from_fn(37, |i, j| (i * 7 + j * 3) % 5 == 0);
+        let mut rows = Vec::new();
+        load_rows(&m, &mut rows);
+        let mut cols = Vec::new();
+        col_masks(&rows, &mut cols);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, col) in cols.iter().enumerate() {
+                assert_eq!(row >> j & 1 == 1, m.get(i, j));
+                assert_eq!(col >> i & 1 == 1, m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rotating_first_matches_select_rotating() {
+        for n in [1, 2, 7, 31, 64] {
+            for seed in 0..50u64 {
+                let mask = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(seed as u32)
+                    & mask_n(n);
+                for start in 0..n {
+                    let scalar = select_rotating(n, start, |i| mask >> i & 1 == 1);
+                    assert_eq!(
+                        rotating_first(mask, n, start),
+                        scalar,
+                        "n={n} start={start}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kth_set_bit_enumerates_ascending() {
+        let mask = 0b1011_0101u64;
+        let expected = [0usize, 2, 4, 5, 7];
+        for (k, &bit) in expected.iter().enumerate() {
+            assert_eq!(kth_set_bit(mask, k), bit);
+        }
+        assert_eq!(kth_set_bit(u64::MAX, 63), 63);
+    }
+
+    #[test]
+    fn min_key_rotating_matches_min_rotating() {
+        let n = 16;
+        for seed in 0..50u64 {
+            let mask = seed.wrapping_mul(0xD134_2543_DE82_EF95) & mask_n(n);
+            let key: Vec<usize> = (0..n)
+                .map(|i| (seed as usize).wrapping_mul(i + 3) % 5)
+                .collect();
+            for start in 0..n {
+                let scalar = min_rotating(n, start, |i| (mask >> i & 1 == 1).then_some(key[i]));
+                assert_eq!(
+                    min_key_rotating(mask, n, start, &key),
+                    scalar,
+                    "seed={seed} start={start}"
+                );
+            }
+        }
+    }
+}

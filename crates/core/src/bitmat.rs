@@ -63,6 +63,42 @@ impl BitMatrix {
         self.n
     }
 
+    /// Number of `u64` words storing one row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The words of `row`, least-significant bit = column 0. Bits at or
+    /// beyond column `n` are always zero.
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.n, "row out of range");
+        let start = row * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Overwrites `row` from raw words (little-endian bit order, matching
+    /// [`BitMatrix::row_words`]). Bits at or beyond column `n` in the last
+    /// word must be zero — this is the word-parallel ingest path used by the
+    /// simulator to copy VOQ occupancy masks straight into the request
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != self.words_per_row()` or if a bit beyond
+    /// column `n` is set.
+    pub fn set_row_words(&mut self, row: usize, words: &[u64]) {
+        assert!(row < self.n, "row out of range");
+        assert_eq!(words.len(), self.words_per_row, "word count mismatch");
+        if let Some(&last) = words.last() {
+            let used = self.n - (self.words_per_row - 1) * 64;
+            let excess = if used == 64 { 0 } else { last >> used };
+            assert_eq!(excess, 0, "bits beyond column n must be zero");
+        }
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row].copy_from_slice(words);
+    }
+
     #[inline]
     fn index(&self, row: usize, col: usize) -> (usize, u64) {
         assert!(row < self.n && col < self.n, "bit index out of range");

@@ -6,6 +6,7 @@
 //! and gives 100% throughput under uniform traffic.
 
 use crate::arbiter::RoundRobinPointer;
+use crate::bitkern::{self, Backend};
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
 use crate::traits::Scheduler;
@@ -37,10 +38,15 @@ use crate::traits::Scheduler;
 pub struct Islip {
     n: usize,
     iterations: usize,
+    backend: Backend,
     grant_ptr: Vec<RoundRobinPointer>,
     accept_ptr: Vec<RoundRobinPointer>,
     // Scratch, reused across slots.
     grant_of_target: Vec<Option<usize>>,
+    // Word-parallel scratch (bitset backend, n <= 64).
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+    grant_mask: Vec<u64>,
 }
 
 impl Islip {
@@ -54,10 +60,26 @@ impl Islip {
         Islip {
             n,
             iterations,
+            backend: Backend::default(),
             grant_ptr: vec![RoundRobinPointer::new(n); n],
             accept_ptr: vec![RoundRobinPointer::new(n); n],
             grant_of_target: vec![None; n],
+            rows: Vec::with_capacity(n),
+            cols: Vec::with_capacity(n),
+            grant_mask: vec![0; n],
         }
+    }
+
+    /// Selects the matching-kernel implementation (builder style). Both
+    /// backends produce bit-identical schedules; see [`Backend`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured kernel backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The configured iteration budget.
@@ -87,6 +109,26 @@ impl Scheduler for Islip {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        if self.backend.word_parallel(self.n) {
+            self.schedule_bitset(requests)
+        } else {
+            self.schedule_scalar(requests)
+        }
+    }
+
+    fn reset(&mut self) {
+        for p in &mut self.grant_ptr {
+            *p = RoundRobinPointer::new(self.n);
+        }
+        for p in &mut self.accept_ptr {
+            *p = RoundRobinPointer::new(self.n);
+        }
+    }
+}
+
+impl Islip {
+    /// The scalar reference kernel: one rotating scan per port per step.
+    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
 
@@ -127,13 +169,59 @@ impl Scheduler for Islip {
         matching
     }
 
-    fn reset(&mut self) {
-        for p in &mut self.grant_ptr {
-            *p = RoundRobinPointer::new(self.n);
+    /// The word-parallel kernel (`n <= 64`): candidate filtering is one
+    /// `AND` of a column mask against the unmatched-inputs mask, and each
+    /// pointer scan is a two-probe [`bitkern::rotating_first`]. Produces
+    /// grant-for-grant identical matchings (and identical pointer updates)
+    /// to [`Islip::schedule_scalar`].
+    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+        let n = self.n;
+        let mut matching = Matching::new(n);
+        bitkern::load_rows(requests.bits(), &mut self.rows);
+        bitkern::col_masks(&self.rows, &mut self.cols);
+        let mut unmatched_in = bitkern::mask_n(n);
+        let mut unmatched_out = bitkern::mask_n(n);
+
+        for iter in 0..self.iterations {
+            // Grant step: each unmatched output offers its grant to the
+            // first requesting unmatched input at or after its pointer.
+            self.grant_mask.iter_mut().for_each(|m| *m = 0);
+            let mut outs = unmatched_out;
+            while outs != 0 {
+                let j = outs.trailing_zeros() as usize;
+                outs &= outs - 1;
+                let cand = self.cols[j] & unmatched_in;
+                if let Some(i) = bitkern::rotating_first(cand, n, self.grant_ptr[j].pos()) {
+                    self.grant_mask[i] |= 1u64 << j;
+                }
+            }
+
+            // Accept step: each input holding grants accepts the first at
+            // or after its pointer.
+            let mut new_matches = 0;
+            let mut ins = unmatched_in;
+            while ins != 0 {
+                let i = ins.trailing_zeros() as usize;
+                ins &= ins - 1;
+                if let Some(j) =
+                    bitkern::rotating_first(self.grant_mask[i], n, self.accept_ptr[i].pos())
+                {
+                    matching.connect(i, j);
+                    unmatched_in &= !(1u64 << i);
+                    unmatched_out &= !(1u64 << j);
+                    new_matches += 1;
+                    if iter == 0 {
+                        self.grant_ptr[j].advance_past(i);
+                        self.accept_ptr[i].advance_past(j);
+                    }
+                }
+            }
+            if new_matches == 0 {
+                break;
+            }
         }
-        for p in &mut self.accept_ptr {
-            *p = RoundRobinPointer::new(self.n);
-        }
+
+        matching
     }
 }
 

@@ -1,6 +1,7 @@
 //! The central LCF scheduler — a faithful implementation of Fig. 2.
 
 use crate::arbiter::DiagonalPointer;
+use crate::bitkern::{self, Backend};
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
 use crate::traits::Scheduler;
@@ -84,9 +85,14 @@ pub struct CentralLcf {
     n: usize,
     pointer: DiagonalPointer,
     policy: RrPolicy,
+    backend: Backend,
     // Workhorse state, reused across slots to keep scheduling allocation-free.
     work: RequestMatrix,
     nrq: Vec<usize>,
+    // Word-parallel scratch (bitset backend, n <= 64): the request matrix as
+    // row masks and its transpose as column masks.
+    rows: Vec<u64>,
+    cols: Vec<u64>,
 }
 
 impl CentralLcf {
@@ -113,9 +119,24 @@ impl CentralLcf {
             n,
             pointer: DiagonalPointer::new(n),
             policy,
+            backend: Backend::default(),
             work: RequestMatrix::new(n),
             nrq: vec![0; n],
+            rows: Vec::with_capacity(n),
+            cols: Vec::with_capacity(n),
         }
+    }
+
+    /// Selects the matching-kernel implementation (builder style). Both
+    /// backends produce bit-identical schedules; see [`Backend`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured kernel backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The configured fairness policy.
@@ -158,6 +179,24 @@ impl Scheduler for CentralLcf {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        let schedule = if self.backend.word_parallel(self.n) {
+            self.schedule_bitset(requests)
+        } else {
+            self.schedule_scalar(requests)
+        };
+        self.pointer.advance();
+        schedule
+    }
+
+    fn reset(&mut self) {
+        self.pointer = DiagonalPointer::new(self.n);
+    }
+}
+
+impl CentralLcf {
+    /// The scalar reference kernel: Fig. 2 transliterated, one index probe
+    /// per matrix cell.
+    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
 
@@ -241,12 +280,103 @@ impl Scheduler for CentralLcf {
             }
         }
 
-        self.pointer.advance();
         schedule
     }
 
-    fn reset(&mut self) {
-        self.pointer = DiagonalPointer::new(self.n);
+    /// The word-parallel kernel (`n <= 64`): the same Fig. 2 algorithm on
+    /// one `u64` row mask per requester plus the transposed column masks.
+    /// Produces grant-for-grant identical schedules to
+    /// [`CentralLcf::schedule_scalar`] — the min-NRQ scan enumerates the
+    /// requesters of a resource in the same rotating order with the same
+    /// strict-minimum tie-break, and grants update the masks exactly as the
+    /// scalar code updates the work matrix.
+    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+        let n = self.n;
+        let (i_off, j_off) = (self.pointer.i, self.pointer.j);
+
+        let mut schedule = Matching::new(n);
+        bitkern::load_rows(requests.bits(), &mut self.rows);
+        bitkern::col_masks(&self.rows, &mut self.cols);
+        for req in 0..n {
+            self.nrq[req] = self.rows[req].count_ones() as usize;
+        }
+
+        // Grant bookkeeping: withdraw the winner's row from every column it
+        // touched (the mask form of `clear_requester`), then decrement NRQ
+        // for the resource's remaining requesters.
+        fn grant(
+            schedule: &mut Matching,
+            rows: &mut [u64],
+            cols: &mut [u64],
+            nrq: &mut [usize],
+            gnt: usize,
+            resource: usize,
+        ) {
+            schedule.connect(gnt, resource);
+            let mut row = rows[gnt];
+            while row != 0 {
+                let j = row.trailing_zeros() as usize;
+                row &= row - 1;
+                cols[j] &= !(1u64 << gnt);
+            }
+            rows[gnt] = 0;
+            nrq[gnt] = 0;
+            let mut col = cols[resource];
+            while col != 0 {
+                let req = col.trailing_zeros() as usize;
+                col &= col - 1;
+                nrq[req] -= 1;
+            }
+        }
+
+        if self.policy == RrPolicy::PriorityDiagonal {
+            for res in 0..n {
+                let (di, dj) = self.pointer.diagonal_position(res);
+                if self.rows[di] >> dj & 1 == 1 && !schedule.output_matched(dj) {
+                    grant(
+                        &mut schedule,
+                        &mut self.rows,
+                        &mut self.cols,
+                        &mut self.nrq,
+                        di,
+                        dj,
+                    );
+                }
+            }
+        }
+
+        for res in 0..n {
+            let resource = (res + j_off) % n;
+            if schedule.output_matched(resource) {
+                continue;
+            }
+            let diag_req = (i_off + res) % n;
+            let col = self.cols[resource];
+
+            let gnt: Option<usize> = match self.policy {
+                RrPolicy::Diagonal if col >> diag_req & 1 == 1 => Some(diag_req),
+                RrPolicy::SinglePosition if res == 0 && col >> i_off & 1 == 1 => Some(i_off),
+                RrPolicy::Row if col >> i_off & 1 == 1 => Some(i_off),
+                RrPolicy::Column if res == 0 => bitkern::rotating_first(col, n, diag_req),
+                // Smallest NRQ among the requesters of this resource; the
+                // rotating enumeration from the diagonal requester breaks
+                // ties exactly like the scalar scan.
+                _ => bitkern::min_key_rotating(col, n, diag_req, &self.nrq),
+            };
+
+            if let Some(gnt) = gnt {
+                grant(
+                    &mut schedule,
+                    &mut self.rows,
+                    &mut self.cols,
+                    &mut self.nrq,
+                    gnt,
+                    resource,
+                );
+            }
+        }
+
+        schedule
     }
 }
 

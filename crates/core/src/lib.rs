@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod bitkern;
 pub mod bitmat;
 pub mod fifo_rr;
 pub mod islip;
@@ -59,6 +60,7 @@ pub mod weighted;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::bitkern::Backend;
     pub use crate::bitmat::BitMatrix;
     pub use crate::fifo_rr::FifoRr;
     pub use crate::islip::Islip;

@@ -4,6 +4,7 @@
 //! request/grant/accept iteration structure, but grants and accepts are
 //! chosen *uniformly at random* instead of by least-choice priority.
 
+use crate::bitkern::{self, Backend};
 use crate::lcf::IterationTrace;
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
@@ -24,12 +25,17 @@ use rand::{Rng, SeedableRng};
 pub struct Pim {
     n: usize,
     iterations: usize,
+    backend: Backend,
     rng: StdRng,
     seed: u64,
     // Scratch, reused across slots.
     grant_of_target: Vec<Option<usize>>,
     candidates: Vec<usize>,
     trace: IterationTrace,
+    // Word-parallel scratch (bitset backend, n <= 64).
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+    grant_mask: Vec<u64>,
 }
 
 impl Pim {
@@ -40,12 +46,29 @@ impl Pim {
         Pim {
             n,
             iterations,
+            backend: Backend::default(),
             rng: StdRng::seed_from_u64(seed),
             seed,
             grant_of_target: vec![None; n],
             candidates: Vec::with_capacity(n),
             trace: IterationTrace::default(),
+            rows: Vec::with_capacity(n),
+            cols: Vec::with_capacity(n),
+            grant_mask: vec![0; n],
         }
+    }
+
+    /// Selects the matching-kernel implementation (builder style). Both
+    /// backends consume the RNG identically and produce bit-identical
+    /// matchings; see [`Backend`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured kernel backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The configured iteration budget.
@@ -71,6 +94,21 @@ impl Scheduler for Pim {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        if self.backend.word_parallel(self.n) {
+            self.schedule_bitset(requests)
+        } else {
+            self.schedule_scalar(requests)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+impl Pim {
+    /// The scalar reference kernel: candidate lists gathered per port.
+    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
         self.trace.new_matches.clear();
@@ -118,8 +156,65 @@ impl Scheduler for Pim {
         matching
     }
 
-    fn reset(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.seed);
+    /// The word-parallel kernel (`n <= 64`): the uniform pick over a
+    /// candidate list becomes a popcount plus a k-th-set-bit select on the
+    /// candidate mask. The ports are visited in the same ascending order
+    /// with the same `gen_range` bounds as the scalar kernel, so the RNG
+    /// stream is consumed identically and the matchings are bit-identical
+    /// to [`Pim::schedule_scalar`].
+    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+        let n = self.n;
+        let mut matching = Matching::new(n);
+        self.trace.new_matches.clear();
+        self.trace.converged_after = None;
+        bitkern::load_rows(requests.bits(), &mut self.rows);
+        bitkern::col_masks(&self.rows, &mut self.cols);
+        let mut unmatched_in = bitkern::mask_n(n);
+        let mut unmatched_out = bitkern::mask_n(n);
+
+        for iter in 0..self.iterations {
+            // Grant: each unmatched output picks uniformly among the
+            // unmatched inputs requesting it (k-th set bit of the mask,
+            // ascending — the mask order matches the scalar candidate list).
+            self.grant_mask.iter_mut().for_each(|m| *m = 0);
+            let mut outs = unmatched_out;
+            while outs != 0 {
+                let j = outs.trailing_zeros() as usize;
+                outs &= outs - 1;
+                let cand = self.cols[j] & unmatched_in;
+                let count = cand.count_ones() as usize;
+                if count > 0 {
+                    let pick = self.rng.gen_range(0..count);
+                    let i = bitkern::kth_set_bit(cand, pick);
+                    self.grant_mask[i] |= 1u64 << j;
+                }
+            }
+
+            // Accept: each input holding grants picks uniformly among them.
+            let mut new_matches = 0;
+            let mut ins = unmatched_in;
+            while ins != 0 {
+                let i = ins.trailing_zeros() as usize;
+                ins &= ins - 1;
+                let grants = self.grant_mask[i];
+                let count = grants.count_ones() as usize;
+                if count > 0 {
+                    let pick = self.rng.gen_range(0..count);
+                    let j = bitkern::kth_set_bit(grants, pick);
+                    matching.connect(i, j);
+                    unmatched_in &= !(1u64 << i);
+                    unmatched_out &= !(1u64 << j);
+                    new_matches += 1;
+                }
+            }
+            self.trace.new_matches.push(new_matches);
+            if new_matches == 0 {
+                self.trace.converged_after = Some(iter + 1);
+                break;
+            }
+        }
+
+        matching
     }
 }
 

@@ -1,5 +1,6 @@
 //! Name-based scheduler construction for experiment harnesses.
 
+use crate::bitkern::Backend;
 use crate::fifo_rr::FifoRr;
 use crate::islip::Islip;
 use crate::lcf::{CentralLcf, DistributedLcf};
@@ -89,21 +90,41 @@ impl SchedulerKind {
         self == SchedulerKind::Fifo
     }
 
-    /// Builds a scheduler instance.
+    /// Builds a scheduler instance with the default (word-parallel) kernel
+    /// backend.
     ///
     /// * `iterations` — budget for the iterative schedulers (ignored by the
     ///   others).
     /// * `seed` — RNG seed (used by PIM only).
     pub fn build(self, n: usize, iterations: usize, seed: u64) -> Box<dyn Scheduler + Send> {
+        self.build_with_backend(n, iterations, seed, Backend::default())
+    }
+
+    /// Like [`SchedulerKind::build`], but selects the matching-kernel
+    /// [`Backend`] for the schedulers that have a word-parallel fast path
+    /// (`lcf_central*`, `islip`, `pim`, `wfront`). The scalar backend is the
+    /// reference implementation; both produce bit-identical matchings, so
+    /// this is a performance dial and a differential-testing hook, never a
+    /// semantic switch. Schedulers without a bitset kernel ignore the
+    /// choice.
+    pub fn build_with_backend(
+        self,
+        n: usize,
+        iterations: usize,
+        seed: u64,
+        backend: Backend,
+    ) -> Box<dyn Scheduler + Send> {
         match self {
             SchedulerKind::Fifo => Box::new(FifoRr::new(n)),
-            SchedulerKind::LcfCentral => Box::new(CentralLcf::pure(n)),
-            SchedulerKind::LcfCentralRr => Box::new(CentralLcf::with_round_robin(n)),
+            SchedulerKind::LcfCentral => Box::new(CentralLcf::pure(n).with_backend(backend)),
+            SchedulerKind::LcfCentralRr => {
+                Box::new(CentralLcf::with_round_robin(n).with_backend(backend))
+            }
             SchedulerKind::LcfDist => Box::new(DistributedLcf::pure(n, iterations)),
             SchedulerKind::LcfDistRr => Box::new(DistributedLcf::with_round_robin(n, iterations)),
-            SchedulerKind::Pim => Box::new(Pim::new(n, iterations, seed)),
-            SchedulerKind::Islip => Box::new(Islip::new(n, iterations)),
-            SchedulerKind::Wavefront => Box::new(Wavefront::new(n)),
+            SchedulerKind::Pim => Box::new(Pim::new(n, iterations, seed).with_backend(backend)),
+            SchedulerKind::Islip => Box::new(Islip::new(n, iterations).with_backend(backend)),
+            SchedulerKind::Wavefront => Box::new(Wavefront::new(n).with_backend(backend)),
             SchedulerKind::MaxSize => Box::new(MaxSizeMatcher::new(n)),
         }
     }

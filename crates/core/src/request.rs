@@ -125,6 +125,14 @@ impl RequestMatrix {
         &self.bits
     }
 
+    /// Replaces requester `i`'s whole row from packed occupancy words — the
+    /// word-parallel ingest path used by the simulator's slot loop (see
+    /// [`BitMatrix::set_row_words`] for the layout contract).
+    #[inline]
+    pub fn set_row_words(&mut self, i: usize, words: &[u64]) {
+        self.bits.set_row_words(i, words);
+    }
+
     /// Copies `other` into `self` without reallocating (see
     /// [`BitMatrix::copy_from`]).
     pub fn copy_from(&mut self, other: &RequestMatrix) {

@@ -6,6 +6,7 @@
 //! hardware — the algorithm maps onto a regular array of crosspoint cells,
 //! which is why the paper cites it as the low-cost distributed baseline.
 
+use crate::bitkern::{self, Backend};
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
 use crate::traits::Scheduler;
@@ -22,13 +23,34 @@ use crate::traits::Scheduler;
 pub struct Wavefront {
     n: usize,
     offset: usize,
+    backend: Backend,
+    // Word-parallel scratch (bitset backend, n <= 64): diag[d] holds the
+    // requesting rows of wrapped diagonal d.
+    diag: Vec<u64>,
 }
 
 impl Wavefront {
     /// Creates a wavefront arbiter for an `n`-port switch.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "scheduler requires n > 0");
-        Wavefront { n, offset: 0 }
+        Wavefront {
+            n,
+            offset: 0,
+            backend: Backend::default(),
+            diag: Vec::with_capacity(n),
+        }
+    }
+
+    /// Selects the matching-kernel implementation (builder style). Both
+    /// backends produce bit-identical matchings; see [`Backend`].
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured kernel backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The diagonal that arbitrates first in the next cycle.
@@ -48,6 +70,23 @@ impl Scheduler for Wavefront {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
+        let matching = if self.backend.word_parallel(self.n) {
+            self.schedule_bitset(requests)
+        } else {
+            self.schedule_scalar(requests)
+        };
+        self.offset = (self.offset + 1) % self.n;
+        matching
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0;
+    }
+}
+
+impl Wavefront {
+    /// The scalar reference kernel: one probe per matrix cell.
+    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
 
@@ -63,12 +102,48 @@ impl Scheduler for Wavefront {
             }
         }
 
-        self.offset = (self.offset + 1) % n;
         matching
     }
 
-    fn reset(&mut self) {
-        self.offset = 0;
+    /// The word-parallel kernel (`n <= 64`): requests are bucketed into
+    /// per-diagonal row masks in `O(set bits)`, then each wave is one `AND`
+    /// with the free-inputs mask plus a set-bit walk. The cells of one
+    /// wrapped diagonal touch distinct rows and columns, so the walk order
+    /// within a wave cannot change the outcome; matchings are bit-identical
+    /// to [`Wavefront::schedule_scalar`].
+    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+        let n = self.n;
+        let mut matching = Matching::new(n);
+
+        self.diag.clear();
+        self.diag.resize(n, 0);
+        for i in 0..n {
+            let mut row = requests.bits().row_words(i)[0];
+            while row != 0 {
+                let j = row.trailing_zeros() as usize;
+                row &= row - 1;
+                self.diag[(i + j) % n] |= 1u64 << i;
+            }
+        }
+
+        let mut free_in = bitkern::mask_n(n);
+        let mut free_out = bitkern::mask_n(n);
+        for wave in 0..n {
+            let d = (wave + self.offset) % n;
+            let mut cand = self.diag[d] & free_in;
+            while cand != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let j = (d + n - i) % n;
+                if free_out >> j & 1 == 1 {
+                    matching.connect(i, j);
+                    free_in &= !(1u64 << i);
+                    free_out &= !(1u64 << j);
+                }
+            }
+        }
+
+        matching
     }
 }
 

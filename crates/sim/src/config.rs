@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::traffic::DestPattern;
+use lcf_core::bitkern::Backend;
 use lcf_core::registry::SchedulerKind;
 
 /// Which switch architecture / scheduler a simulation models.
@@ -101,6 +102,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Latency histogram range (values above land in the overflow bucket).
     pub max_latency_bucket: usize,
+    /// Matching-kernel backend for the schedulers that have a word-parallel
+    /// fast path. Both backends produce bit-identical runs; `Scalar` exists
+    /// as the reference implementation and for differential testing.
+    pub backend: Backend,
 }
 
 impl SimConfig {
@@ -121,6 +126,7 @@ impl SimConfig {
             measure_slots: 100_000,
             seed: 0x1C_F2002,
             max_latency_bucket: 4096,
+            backend: Backend::default(),
         }
     }
 

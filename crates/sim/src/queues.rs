@@ -93,6 +93,11 @@ impl BoundedFifo {
 #[derive(Clone, Debug)]
 pub struct VoqSet {
     queues: Vec<BoundedFifo>,
+    // Occupancy bitmap, 64 destinations per word: bit (dst % 64) of word
+    // (dst / 64) is set iff the VOQ for dst is non-empty. Maintained on
+    // push/pop so the simulator can build the scheduler's request row with
+    // one word copy instead of n probes.
+    occupancy: Vec<u64>,
 }
 
 impl VoqSet {
@@ -101,6 +106,7 @@ impl VoqSet {
         assert!(n > 0, "VOQ set requires n > 0");
         VoqSet {
             queues: (0..n).map(|_| BoundedFifo::new(cap_each)).collect(),
+            occupancy: vec![0; n.div_ceil(64)],
         }
     }
 
@@ -112,7 +118,12 @@ impl VoqSet {
     /// Attempts to enqueue a packet into the VOQ of its destination.
     #[must_use = "a false return means the packet was dropped"]
     pub fn push(&mut self, p: Packet) -> bool {
-        self.queues[p.dst_idx()].push(p)
+        let dst = p.dst_idx();
+        let pushed = self.queues[dst].push(p);
+        if pushed {
+            self.occupancy[dst / 64] |= 1u64 << (dst % 64);
+        }
+        pushed
     }
 
     /// True if the VOQ for destination `dst` has room.
@@ -128,7 +139,11 @@ impl VoqSet {
 
     /// Dequeues the head packet destined for `dst`.
     pub fn pop_for(&mut self, dst: usize) -> Option<Packet> {
-        self.queues[dst].pop()
+        let p = self.queues[dst].pop();
+        if self.queues[dst].is_empty() {
+            self.occupancy[dst / 64] &= !(1u64 << (dst % 64));
+        }
+        p
     }
 
     /// Peeks at the head packet destined for `dst` (for age-based
@@ -145,6 +160,21 @@ impl VoqSet {
     /// Occupancy of the VOQ for destination `dst`.
     pub fn len_for(&self, dst: usize) -> usize {
         self.queues[dst].len()
+    }
+
+    /// The occupancy bitmap, 64 destinations per word: bit `dst % 64` of
+    /// word `dst / 64` is set iff [`VoqSet::has_packet_for`]`(dst)`. This is
+    /// exactly the request row the scheduler sees, in the packed layout of
+    /// `lcf_core::bitmat::BitMatrix::set_row_words`.
+    #[inline]
+    pub fn occupancy_words(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Number of non-empty VOQs (the paper's "choice" of this input).
+    #[inline]
+    pub fn occupied_count(&self) -> usize {
+        self.occupancy.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -215,6 +245,51 @@ mod tests {
         assert!(v.push(pkt(0)), "other VOQs unaffected");
         assert!(!v.has_room_for(2));
         assert!(v.has_room_for(1));
+    }
+
+    #[test]
+    fn occupancy_words_track_push_and_pop() {
+        let mut v = VoqSet::new(70, 2);
+        assert_eq!(v.occupancy_words(), &[0, 0]);
+        assert!(v.push(pkt(3)));
+        assert!(v.push(pkt(3)));
+        assert!(v.push(pkt(65)));
+        assert_eq!(v.occupancy_words(), &[1 << 3, 1 << 1]);
+        assert_eq!(v.occupied_count(), 2);
+        // Popping clears the bit only when the queue empties.
+        assert!(v.pop_for(3).is_some());
+        assert_eq!(v.occupancy_words(), &[1 << 3, 1 << 1], "one packet left");
+        assert!(v.pop_for(3).is_some());
+        assert_eq!(v.occupancy_words(), &[0, 1 << 1]);
+        assert!(v.pop_for(65).is_some());
+        assert_eq!(v.occupied_count(), 0);
+    }
+
+    #[test]
+    fn occupancy_unchanged_by_rejected_push() {
+        let mut v = VoqSet::new(4, 1);
+        assert!(v.push(pkt(2)));
+        assert!(!v.push(pkt(2)), "VOQ 2 full");
+        assert_eq!(v.occupancy_words(), &[1 << 2]);
+        // Popping a never-filled destination is a no-op on the bitmap.
+        assert!(v.pop_for(0).is_none());
+        assert_eq!(v.occupancy_words(), &[1 << 2]);
+    }
+
+    #[test]
+    fn occupancy_matches_has_packet_for() {
+        let mut v = VoqSet::new(6, 3);
+        for dst in [5, 0, 5, 2] {
+            assert!(v.push(pkt(dst)));
+        }
+        v.pop_for(2);
+        for dst in 0..6 {
+            assert_eq!(
+                v.occupancy_words()[0] >> dst & 1 == 1,
+                v.has_packet_for(dst),
+                "bit {dst}"
+            );
+        }
     }
 
     #[test]

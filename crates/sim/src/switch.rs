@@ -179,10 +179,7 @@ impl IqSwitch {
     pub fn mean_choice(&self) -> f64 {
         match &self.inputs {
             InputQueues::Voq(v) => {
-                let total: usize = v
-                    .iter()
-                    .map(|set| (0..self.n).filter(|&j| set.has_packet_for(j)).count())
-                    .sum();
+                let total: usize = v.iter().map(|set| set.occupied_count()).sum();
                 total as f64 / self.n as f64
             }
             InputQueues::Fifo(_) => 0.0,
@@ -261,18 +258,21 @@ impl IqSwitch {
         //    then schedule.
         let matching = match &mut self.engine {
             Engine::Boolean(scheduler) => {
-                for i in 0..n {
-                    match &self.inputs {
-                        InputQueues::Voq(v) => {
-                            for j in 0..n {
-                                self.requests.set(i, j, v[i].has_packet_for(j));
-                            }
+                match &self.inputs {
+                    // Word-parallel ingest: each VOQ set maintains its
+                    // occupancy bitmap incrementally, so a request row is a
+                    // word copy instead of n probes.
+                    InputQueues::Voq(v) => {
+                        for (i, set) in v.iter().enumerate() {
+                            self.requests.set_row_words(i, set.occupancy_words());
                         }
-                        InputQueues::Fifo(f) => {
+                    }
+                    InputQueues::Fifo(f) => {
+                        for (i, fifo) in f.iter().enumerate() {
                             for j in 0..n {
                                 self.requests.set(i, j, false);
                             }
-                            if let Some(head) = f[i].head() {
+                            if let Some(head) = fifo.head() {
                                 self.requests.set(i, head.dst_idx(), true);
                             }
                         }
