@@ -13,6 +13,7 @@
 //!   commit `BENCH_schedulers.json` baselines,
 //! * the first non-flag CLI argument filters benchmarks by substring.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::time::{Duration, Instant};

@@ -14,6 +14,7 @@
 //!   this codebase, so behaviour is identical).
 //! * `PROPTEST_CASES` overrides the configured case count.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use test_runner::ProptestConfig;

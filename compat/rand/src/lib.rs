@@ -12,6 +12,7 @@
 //! Value derivation is also frozen and documented per method; see
 //! [`Rng::gen_range`] and [`Rng::gen_bool`].
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

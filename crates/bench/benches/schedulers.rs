@@ -73,7 +73,7 @@ fn bench_kernels(c: &mut Criterion) {
                 let pool: Vec<RequestMatrix> = (0..64)
                     .map(|_| RequestMatrix::random(n, 0.5, &mut rng))
                     .collect();
-                let mut sched = kind.build_with_backend(n, 4, 11, backend);
+                let mut sched = kind.build_with_backend(n, 4, 11, backend).0;
                 let mut idx = 0usize;
                 group.bench_with_input(BenchmarkId::new(kind.name(), n), &pool, |b, pool| {
                     b.iter(|| {

@@ -131,6 +131,7 @@ mod tests {
             throughput: load,
             jain_index: 1.0,
             seed: 0,
+            backend: "scalar".into(),
         };
         let reports = vec![mk("outbuf", 0.5, 2.0), mk("islip", 0.5, 3.0)];
         let points = relativize(&reports);

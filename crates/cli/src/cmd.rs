@@ -112,7 +112,8 @@ fn report_block(r: &SimReport) -> String {
          delay stddev   {:.3}\n\
          p50 / p99      {} / {} slots\n\
          jain index     {:.4}\n\
-         seed           {}\n",
+         seed           {}\n\
+         backend        {}\n",
         r.model,
         r.load,
         r.n,
@@ -126,7 +127,8 @@ fn report_block(r: &SimReport) -> String {
         r.p50_latency,
         r.p99_latency,
         r.jain_index,
-        r.seed
+        r.seed,
+        r.backend
     )
 }
 
@@ -238,6 +240,7 @@ fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
         throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * n as f64),
         jain_index: stats.service().jain_index(),
         seed: cfg.seed,
+        backend: "scalar (no word-parallel kernel)".to_string(),
     };
     Ok(report_block(&report))
 }

@@ -1,5 +1,7 @@
 //! The `lcf` binary: thin wrapper over [`lcf_cli::run`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match lcf_cli::run(&argv) {

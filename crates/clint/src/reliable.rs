@@ -18,7 +18,7 @@ use crate::packets::ConfigPacket;
 use crate::pipeline::BulkPipeline;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// A transfer the application asked for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,7 +100,7 @@ struct Host {
     /// Sent, awaiting acknowledgment.
     outstanding: Vec<Outstanding>,
     /// Receiver-side dedup: sequences already delivered, per source.
-    delivered: Vec<HashSet<u64>>,
+    delivered: Vec<BTreeSet<u64>>,
     /// Grant received this slot: transfer moved to the wire for next slot.
     wire: Option<Transfer>,
 }
@@ -111,7 +111,7 @@ impl Host {
             next_seq: 0,
             pending: (0..n).map(|_| VecDeque::new()).collect(),
             outstanding: Vec::new(),
-            delivered: (0..n).map(|_| HashSet::new()).collect(),
+            delivered: (0..n).map(|_| BTreeSet::new()).collect(),
             wire: None,
         }
     }

@@ -184,6 +184,19 @@ impl Scheduler for CentralLcf {
         } else {
             self.schedule_scalar(requests)
         };
+        // Self-check the round-robin precedence rule against the pre-advance
+        // pointer in checked debug builds.
+        #[cfg(all(feature = "check-invariants", debug_assertions))]
+        if let Err(v) = crate::check::check_central_precedence(
+            self.policy,
+            self.pointer.i,
+            self.pointer.j,
+            requests,
+            &schedule,
+        ) {
+            // lint:allow(no-panic): invariant self-check aborts on a broken kernel
+            panic!("{}: {v}", self.name());
+        }
         self.pointer.advance();
         schedule
     }

@@ -45,6 +45,8 @@
 pub mod arbiter;
 pub mod bitkern;
 pub mod bitmat;
+#[cfg(feature = "check-invariants")]
+pub mod check;
 pub mod fifo_rr;
 pub mod islip;
 pub mod lcf;
@@ -62,6 +64,8 @@ pub mod weighted;
 pub mod prelude {
     pub use crate::bitkern::Backend;
     pub use crate::bitmat::BitMatrix;
+    #[cfg(feature = "check-invariants")]
+    pub use crate::check::{CheckedScheduler, ScheduleChecker};
     pub use crate::fifo_rr::FifoRr;
     pub use crate::islip::Islip;
     pub use crate::lcf::{CentralLcf, DistributedLcf};
@@ -69,7 +73,7 @@ pub mod prelude {
     pub use crate::maxsize::MaxSizeMatcher;
     pub use crate::multicast::{FanoutSplit, McastGrant, McastPolicy};
     pub use crate::pim::Pim;
-    pub use crate::registry::SchedulerKind;
+    pub use crate::registry::{BackendChoice, SchedulerKind};
     pub use crate::request::RequestMatrix;
     pub use crate::traits::Scheduler;
     pub use crate::wavefront::Wavefront;

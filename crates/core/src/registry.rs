@@ -24,6 +24,77 @@ pub enum SchedulerKind {
     Islip,
     Wavefront,
     MaxSize,
+    /// Test-only probe that panics on every `schedule` call. Excluded from
+    /// [`SchedulerKind::ALL`]; exists so fault-isolation paths (`try_sweep`
+    /// panic containment) can be exercised through the public registry.
+    FaultProbe,
+}
+
+/// How the registry resolved a requested kernel [`Backend`] for a concrete
+/// scheduler and port count. Returned by
+/// [`SchedulerKind::build_with_backend`] so callers can surface (rather than
+/// silently absorb) the scalar fallback for `n > 64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The scheduler runs the backend the caller asked for.
+    AsRequested(Backend),
+    /// The bitset kernel was requested but `n` exceeds
+    /// [`WORD_PORTS`](crate::bitkern::WORD_PORTS), so the scheduler fell
+    /// back to the scalar reference kernel.
+    ScalarFallback {
+        /// The port count that forced the fallback.
+        n: usize,
+    },
+    /// The scheduler has no word-parallel kernel at all; the backend request
+    /// is ignored and the scalar implementation always runs.
+    NoKernel,
+}
+
+impl BackendChoice {
+    /// The backend that will actually execute.
+    pub fn effective(self) -> Backend {
+        match self {
+            BackendChoice::AsRequested(b) => b,
+            BackendChoice::ScalarFallback { .. } | BackendChoice::NoKernel => Backend::Scalar,
+        }
+    }
+
+    /// True if a bitset request was silently impossible to honor.
+    pub fn is_fallback(self) -> bool {
+        matches!(self, BackendChoice::ScalarFallback { .. })
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::AsRequested(b) => f.write_str(b.name()),
+            BackendChoice::ScalarFallback { n } => {
+                write!(f, "scalar (bitset unavailable for n = {n} > 64)")
+            }
+            BackendChoice::NoKernel => f.write_str("scalar (no word-parallel kernel)"),
+        }
+    }
+}
+
+/// The deliberately faulty scheduler behind [`SchedulerKind::FaultProbe`].
+struct FaultProbe {
+    n: usize,
+}
+
+impl Scheduler for FaultProbe {
+    fn name(&self) -> &'static str {
+        "panic_probe"
+    }
+
+    fn num_ports(&self) -> usize {
+        self.n
+    }
+
+    fn schedule(&mut self, _requests: &crate::request::RequestMatrix) -> crate::matching::Matching {
+        // lint:allow(no-panic): this probe exists to panic, so fault isolation can be tested
+        panic!("panic_probe: deliberate scheduler fault");
+    }
 }
 
 impl SchedulerKind {
@@ -65,11 +136,17 @@ impl SchedulerKind {
             SchedulerKind::Islip => "islip",
             SchedulerKind::Wavefront => "wfront",
             SchedulerKind::MaxSize => "maxsize",
+            SchedulerKind::FaultProbe => "panic_probe",
         }
     }
 
-    /// Parses a paper name back into a kind.
+    /// Parses a paper name back into a kind. The test-only `panic_probe` is
+    /// addressable by name even though it is not part of
+    /// [`SchedulerKind::ALL`].
     pub fn from_name(name: &str) -> Option<SchedulerKind> {
+        if name == "panic_probe" {
+            return Some(SchedulerKind::FaultProbe);
+        }
         SchedulerKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
@@ -90,6 +167,49 @@ impl SchedulerKind {
         self == SchedulerKind::Fifo
     }
 
+    /// True for schedulers that have a word-parallel (bitset) kernel in
+    /// addition to the scalar reference kernel.
+    pub fn has_kernel(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::LcfCentral
+                | SchedulerKind::LcfCentralRr
+                | SchedulerKind::Pim
+                | SchedulerKind::Islip
+                | SchedulerKind::Wavefront
+        )
+    }
+
+    /// True if every matching this scheduler produces is guaranteed maximal
+    /// (no augmenting single edge). The greedy central schedulers and the
+    /// wavefront arbiter sweep all positions each slot; the iterative
+    /// schedulers stop after a finite iteration budget and may leave an
+    /// augmenting edge behind. `fifo` is maximal under its own precondition
+    /// of at most one request per input (head-of-line requests only).
+    pub fn guarantees_maximal(self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::Fifo
+                | SchedulerKind::LcfCentral
+                | SchedulerKind::LcfCentralRr
+                | SchedulerKind::Wavefront
+                | SchedulerKind::MaxSize
+        )
+    }
+
+    /// Resolves a requested backend for this scheduler at port count `n`
+    /// without building anything. This is the single source of truth for the
+    /// `n > 64` scalar fallback that the kernels apply internally.
+    pub fn resolve_backend(self, n: usize, requested: Backend) -> BackendChoice {
+        if !self.has_kernel() {
+            BackendChoice::NoKernel
+        } else if requested.word_parallel(n) || requested == Backend::Scalar {
+            BackendChoice::AsRequested(requested)
+        } else {
+            BackendChoice::ScalarFallback { n }
+        }
+    }
+
     /// Builds a scheduler instance with the default (word-parallel) kernel
     /// backend.
     ///
@@ -98,6 +218,7 @@ impl SchedulerKind {
     /// * `seed` — RNG seed (used by PIM only).
     pub fn build(self, n: usize, iterations: usize, seed: u64) -> Box<dyn Scheduler + Send> {
         self.build_with_backend(n, iterations, seed, Backend::default())
+            .0
     }
 
     /// Like [`SchedulerKind::build`], but selects the matching-kernel
@@ -107,14 +228,18 @@ impl SchedulerKind {
     /// this is a performance dial and a differential-testing hook, never a
     /// semantic switch. Schedulers without a bitset kernel ignore the
     /// choice.
+    ///
+    /// Returns the scheduler together with the [`BackendChoice`] that was
+    /// actually applied, so callers can surface the `n > 64` scalar fallback
+    /// instead of silently downgrading.
     pub fn build_with_backend(
         self,
         n: usize,
         iterations: usize,
         seed: u64,
         backend: Backend,
-    ) -> Box<dyn Scheduler + Send> {
-        match self {
+    ) -> (Box<dyn Scheduler + Send>, BackendChoice) {
+        let sched: Box<dyn Scheduler + Send> = match self {
             SchedulerKind::Fifo => Box::new(FifoRr::new(n)),
             SchedulerKind::LcfCentral => Box::new(CentralLcf::pure(n).with_backend(backend)),
             SchedulerKind::LcfCentralRr => {
@@ -126,7 +251,36 @@ impl SchedulerKind {
             SchedulerKind::Islip => Box::new(Islip::new(n, iterations).with_backend(backend)),
             SchedulerKind::Wavefront => Box::new(Wavefront::new(n).with_backend(backend)),
             SchedulerKind::MaxSize => Box::new(MaxSizeMatcher::new(n)),
+            SchedulerKind::FaultProbe => Box::new(FaultProbe { n }),
+        };
+        (sched, self.resolve_backend(n, backend))
+    }
+
+    /// Like [`SchedulerKind::build_with_backend`], but wraps the scheduler
+    /// in a [`CheckedScheduler`](crate::check::CheckedScheduler) that
+    /// validates every matching (permutation validity, grant ⊆ request,
+    /// maximality where [`SchedulerKind::guarantees_maximal`]) and — when
+    /// the effective backend is the bitset kernel — replays every request
+    /// matrix through a scalar twin built from the same seed, asserting
+    /// bit-identical agreement. The simulator uses this in debug builds.
+    #[cfg(feature = "check-invariants")]
+    pub fn build_checked(
+        self,
+        n: usize,
+        iterations: usize,
+        seed: u64,
+        backend: Backend,
+    ) -> (Box<dyn Scheduler + Send>, BackendChoice) {
+        use crate::check::{CheckedScheduler, ScheduleChecker};
+
+        let (primary, choice) = self.build_with_backend(n, iterations, seed, backend);
+        let checker = ScheduleChecker::new().require_maximal(self.guarantees_maximal());
+        let mut checked = CheckedScheduler::new(primary, checker);
+        if choice.effective() == Backend::Bitset {
+            let (twin, _) = self.build_with_backend(n, iterations, seed, Backend::Scalar);
+            checked = checked.with_shadow(twin);
         }
+        (Box::new(checked), choice)
     }
 }
 
@@ -177,5 +331,68 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(format!("{}", SchedulerKind::LcfCentralRr), "lcf_central_rr");
+    }
+
+    #[test]
+    fn backend_choice_reports_fallback() {
+        let kind = SchedulerKind::LcfCentralRr;
+        assert_eq!(
+            kind.resolve_backend(8, Backend::Bitset),
+            BackendChoice::AsRequested(Backend::Bitset)
+        );
+        assert_eq!(
+            kind.resolve_backend(8, Backend::Scalar),
+            BackendChoice::AsRequested(Backend::Scalar)
+        );
+        let fallback = kind.resolve_backend(100, Backend::Bitset);
+        assert_eq!(fallback, BackendChoice::ScalarFallback { n: 100 });
+        assert!(fallback.is_fallback());
+        assert_eq!(fallback.effective(), Backend::Scalar);
+        assert!(fallback.to_string().contains("n = 100"));
+        // Schedulers without a kernel ignore the request entirely.
+        assert_eq!(
+            SchedulerKind::MaxSize.resolve_backend(8, Backend::Bitset),
+            BackendChoice::NoKernel
+        );
+    }
+
+    #[test]
+    fn build_with_backend_returns_the_resolved_choice() {
+        let (s, choice) = SchedulerKind::Islip.build_with_backend(100, 4, 1, Backend::Bitset);
+        assert_eq!(s.num_ports(), 100);
+        assert_eq!(choice, BackendChoice::ScalarFallback { n: 100 });
+        let (_, choice) = SchedulerKind::Pim.build_with_backend(16, 4, 1, Backend::Bitset);
+        assert_eq!(choice, BackendChoice::AsRequested(Backend::Bitset));
+    }
+
+    #[test]
+    fn panic_probe_is_hidden_but_addressable() {
+        assert!(!SchedulerKind::ALL.contains(&SchedulerKind::FaultProbe));
+        assert_eq!(
+            SchedulerKind::from_name("panic_probe"),
+            Some(SchedulerKind::FaultProbe)
+        );
+        assert_eq!(SchedulerKind::FaultProbe.name(), "panic_probe");
+        let (s, choice) = SchedulerKind::FaultProbe.build_with_backend(4, 1, 0, Backend::default());
+        assert_eq!(s.num_ports(), 4);
+        assert_eq!(choice, BackendChoice::NoKernel);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate scheduler fault")]
+    fn panic_probe_panics_on_schedule() {
+        let mut s = SchedulerKind::FaultProbe.build(4, 1, 0);
+        let _ = s.schedule(&RequestMatrix::full(4));
+    }
+
+    #[cfg(feature = "check-invariants")]
+    #[test]
+    fn build_checked_validates_and_shadows() {
+        for kind in SchedulerKind::ALL {
+            let (mut s, _) = kind.build_checked(8, 4, 1, Backend::default());
+            let requests = RequestMatrix::from_pairs(8, [(3, 5)]);
+            let m = s.schedule(&requests);
+            assert_eq!(m.output_for(3), Some(5), "{kind}");
+        }
     }
 }

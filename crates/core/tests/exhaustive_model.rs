@@ -1,0 +1,226 @@
+//! Exhaustive small-`n` model checking of every registered scheduler.
+//!
+//! For `n ≤ 3` the request-matrix space is small enough (`2^(n²) ≤ 512`) to
+//! enumerate *completely*: every scheduler × kernel backend is run over every
+//! possible matrix and validated against the [`ScheduleChecker`] invariants
+//! (permutation validity, grant ⊆ request, maximality where guaranteed).
+//! [`CentralLcf`] is additionally checked from **every** round-robin pointer
+//! state against the Fig. 2 precedence rules, and the paper's `b/n²`
+//! bandwidth floor is verified over full rotation periods. For `n = 4..8`,
+//! where enumeration is out of reach, randomized dense sweeps run the same
+//! invariants over seeded matrix sequences (stateful, so pointer/RNG state
+//! is exercised too).
+
+use lcf_core::bitkern::Backend;
+use lcf_core::check::{check_central_precedence, ScheduleChecker};
+use lcf_core::lcf::{CentralLcf, RrPolicy};
+use lcf_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BACKENDS: [Backend; 2] = [Backend::Scalar, Backend::Bitset];
+
+const POLICIES: [RrPolicy; 6] = [
+    RrPolicy::None,
+    RrPolicy::SinglePosition,
+    RrPolicy::Row,
+    RrPolicy::Column,
+    RrPolicy::Diagonal,
+    RrPolicy::PriorityDiagonal,
+];
+
+/// Decodes matrix number `bits` (bit `i * n + j` ⇒ request `(i, j)`).
+fn matrix_from_bits(n: usize, bits: u32) -> RequestMatrix {
+    RequestMatrix::from_fn(n, |i, j| bits >> (i * n + j) & 1 == 1)
+}
+
+/// True if no input requests more than one output (the `fifo` scheduler's
+/// head-of-line precondition).
+fn at_most_one_per_row(m: &RequestMatrix) -> bool {
+    (0..m.n()).all(|i| m.nrq(i) <= 1)
+}
+
+/// Every scheduler × backend over every request matrix for n ≤ 3, fresh
+/// instance per matrix, full invariant check.
+#[test]
+fn exhaustive_all_schedulers_small_n() {
+    for n in 1..=3usize {
+        let cells = (n * n) as u32;
+        for kind in SchedulerKind::ALL {
+            let checker = ScheduleChecker::new().require_maximal(kind.guarantees_maximal());
+            for backend in BACKENDS {
+                for bits in 0..1u32 << cells {
+                    let requests = matrix_from_bits(n, bits);
+                    if kind.wants_fifo_queues() && !at_most_one_per_row(&requests) {
+                        continue;
+                    }
+                    let (mut sched, _) = kind.build_with_backend(n, 4, 0xE7, backend);
+                    let matching = sched.schedule(&requests);
+                    if let Err(v) = checker.check(&requests, &matching) {
+                        panic!("{kind} n={n} {backend:?} matrix {bits:#b}: {v}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CentralLcf × every policy × both backends × every pointer state × every
+/// matrix: the Fig. 2 round-robin precedence rules hold unconditionally.
+#[test]
+fn exhaustive_central_precedence_all_pointer_states() {
+    let checker = ScheduleChecker::new().require_maximal(true);
+    for n in 1..=3usize {
+        let cells = (n * n) as u32;
+        for policy in POLICIES {
+            for backend in BACKENDS {
+                for state in 0..n * n {
+                    for bits in 0..1u32 << cells {
+                        let requests = matrix_from_bits(n, bits);
+                        let mut sched = CentralLcf::with_policy(n, policy).with_backend(backend);
+                        for _ in 0..state {
+                            sched.advance_pointer();
+                        }
+                        let (i_off, j_off) = sched.pointer();
+                        let matching = sched.schedule(&requests);
+                        if let Err(v) = checker.check(&requests, &matching) {
+                            panic!(
+                                "{policy:?} n={n} {backend:?} state={state} matrix {bits:#b}: {v}"
+                            );
+                        }
+                        if let Err(v) =
+                            check_central_precedence(policy, i_off, j_off, &requests, &matching)
+                        {
+                            panic!(
+                                "{policy:?} n={n} {backend:?} state={state} matrix {bits:#b}: {v}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalar and bitset kernels stay bit-identical through *stateful* runs: one
+/// instance each, driven through every matrix in sequence so round-robin
+/// pointers and RNG streams advance together.
+#[test]
+fn exhaustive_twin_backend_sequences() {
+    let n = 3usize;
+    let cells = (n * n) as u32;
+    for kind in SchedulerKind::ALL {
+        if !kind.has_kernel() {
+            continue;
+        }
+        let (mut scalar, _) = kind.build_with_backend(n, 4, 0x5EED, Backend::Scalar);
+        let (mut bitset, _) = kind.build_with_backend(n, 4, 0x5EED, Backend::Bitset);
+        for bits in 0..1u32 << cells {
+            let requests = matrix_from_bits(n, bits);
+            let a = scalar.schedule(&requests);
+            let b = bitset.schedule(&requests);
+            assert_eq!(a, b, "{kind} diverged on matrix {bits:#b} (n={n})");
+        }
+    }
+}
+
+/// The paper's bandwidth floor over one full rotation period (n² slots),
+/// under the adversarial load of Sec. 4: every other input requests every
+/// output, while input `i` requests only output `j`. The rotating position
+/// must still serve `(i, j)`:
+///
+/// * `Diagonal` (the paper's `lcf_central_rr`) and `SinglePosition` — at
+///   least one grant per period, the `b/n²` floor;
+/// * `PriorityDiagonal` — at least `n` grants per period, the `b/n` floor.
+#[test]
+fn fairness_floor_over_full_rotation() {
+    for n in [2usize, 3, 4] {
+        let period = n * n;
+        for (policy, min_grants) in [
+            (RrPolicy::SinglePosition, 1usize),
+            (RrPolicy::Diagonal, 1),
+            (RrPolicy::PriorityDiagonal, n),
+        ] {
+            for backend in BACKENDS {
+                for i in 0..n {
+                    for j in 0..n {
+                        let requests =
+                            RequestMatrix::from_fn(n, |r, c| if r == i { c == j } else { true });
+                        let mut sched = CentralLcf::with_policy(n, policy).with_backend(backend);
+                        let mut grants = 0usize;
+                        for _ in 0..period {
+                            let m = sched.schedule(&requests);
+                            if m.output_for(i) == Some(j) {
+                                grants += 1;
+                            }
+                        }
+                        assert!(
+                            grants >= min_grants,
+                            "{policy:?} n={n} {backend:?}: pair ({i}, {j}) got {grants} grants \
+                             in a {period}-slot period, floor is {min_grants}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Randomized dense sweeps for n = 4..8: the same invariants (validity,
+/// maximality where guaranteed, twin-backend agreement) over seeded matrix
+/// sequences against stateful scheduler instances.
+#[test]
+fn randomized_dense_sweeps_larger_n() {
+    const ROUNDS: usize = 40;
+    let mut rng = StdRng::seed_from_u64(0x10CF_2002);
+    for n in 4..=8usize {
+        for density in [0.5, 0.95] {
+            // One shared matrix sequence per (n, density) so every scheduler
+            // sees identical input.
+            let matrices: Vec<RequestMatrix> = (0..ROUNDS)
+                .map(|_| RequestMatrix::random(n, density, &mut rng))
+                .collect();
+            for kind in SchedulerKind::ALL {
+                if kind.wants_fifo_queues() {
+                    continue; // dense rows violate the fifo precondition
+                }
+                let checker = ScheduleChecker::new().require_maximal(kind.guarantees_maximal());
+                let (mut scalar, _) = kind.build_with_backend(n, 4, 0xFA1, Backend::Scalar);
+                let (mut bitset, _) = kind.build_with_backend(n, 4, 0xFA1, Backend::Bitset);
+                for (idx, requests) in matrices.iter().enumerate() {
+                    let a = scalar.schedule(requests);
+                    if let Err(v) = checker.check(requests, &a) {
+                        panic!("{kind} n={n} density={density} round {idx}: {v}");
+                    }
+                    if kind.has_kernel() {
+                        let b = bitset.schedule(requests);
+                        assert_eq!(
+                            a, b,
+                            "{kind} n={n} density={density} round {idx}: backends diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The checker itself must reject a deliberately broken matching — guards
+/// against the model check silently passing everything.
+#[test]
+fn model_check_is_not_vacuous() {
+    let requests = RequestMatrix::from_pairs(3, [(0, 0), (1, 1)]);
+    let empty = Matching::new(3);
+    assert!(
+        ScheduleChecker::new()
+            .require_maximal(true)
+            .check(&requests, &empty)
+            .is_err(),
+        "empty matching under live requests must fail maximality"
+    );
+    let bogus = Matching::from_pairs(3, [(2, 2)]);
+    assert!(
+        ScheduleChecker::new().check(&requests, &bogus).is_err(),
+        "unrequested grant must fail validity"
+    );
+}

@@ -146,8 +146,8 @@ proptest! {
             SchedulerKind::Wavefront,
         ] {
             assert_equivalent(
-                kind.build_with_backend(n, 4, sched_seed, Backend::Scalar),
-                kind.build_with_backend(n, 4, sched_seed, Backend::Bitset),
+                kind.build_with_backend(n, 4, sched_seed, Backend::Scalar).0,
+                kind.build_with_backend(n, 4, sched_seed, Backend::Bitset).0,
                 &matrices,
                 kind.name(),
             );

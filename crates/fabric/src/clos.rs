@@ -254,16 +254,20 @@ impl ClosRoute {
 
     /// Verifies that no internal link is used twice: every (ingress,
     /// middle) and (middle, egress) link carries at most one connection.
+    /// Link occupancy is a dense `switch × middle` bitmap — deterministic
+    /// iteration and O(1) probes, no hashing.
     pub fn verify(&self) -> bool {
-        let mut up_links = std::collections::HashSet::new();
-        let mut down_links = std::collections::HashSet::new();
+        let (m, r) = (self.net.m, self.net.r);
+        let mut up_links = vec![false; r * m];
+        let mut down_links = vec![false; m * r];
         for &(p, c, q) in &self.assignments {
-            if !up_links.insert((self.net.ingress_of(p), c)) {
+            let up = self.net.ingress_of(p) * m + c;
+            let down = c * r + self.net.egress_of(q);
+            if up_links[up] || down_links[down] {
                 return false;
             }
-            if !down_links.insert((c, self.net.egress_of(q))) {
-                return false;
-            }
+            up_links[up] = true;
+            down_links[down] = true;
         }
         true
     }

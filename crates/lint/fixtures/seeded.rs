@@ -1,0 +1,21 @@
+//! Seeded-violation fixture for the `lcf-lint` self-test.
+//!
+//! This file is never compiled; it exists so `cargo run -p lcf-lint -- --self-test`
+//! (and `cargo run -p lcf-lint -- crates/lint/fixtures/seeded.rs`, which must
+//! exit non-zero) can prove every rule actually fires. It deliberately lacks
+//! `#![forbid(unsafe_code)]` to trip the forbid-unsafe rule.
+
+use std::collections::HashMap; // trips hash-collections
+use std::time::Instant; // trips wall-clock
+
+/// Trips no-panic (unwrap and panic!) and truncating-cast.
+pub fn seeded(port: usize, m: &HashMap<usize, usize>) -> u8 {
+    let _t = Instant::now();
+    if port > 255 {
+        panic!("port out of range");
+    }
+    let _narrow = *m.get(&port).unwrap() as u32;
+    // lint:allow(truncating-cast): fixture demonstrates a correctly justified tag
+    let allowed = port as u16;
+    (allowed & 0xFF) as u8
+}

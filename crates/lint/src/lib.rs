@@ -1,0 +1,752 @@
+//! # lcf-lint — repo-specific static analysis
+//!
+//! A dependency-free lexical analyzer for the workspace's own determinism
+//! and robustness rules — the properties `rustc` and `clippy` cannot know
+//! about because they are contracts of *this* codebase:
+//!
+//! | rule | meaning | scope |
+//! |---|---|---|
+//! | `hash-collections` | no `HashMap`/`HashSet` (iteration order is unspecified; simulation results must be bit-identical) | core, sim, fabric, clint |
+//! | `wall-clock` | no `SystemTime`/`Instant` (simulated time is slot-based; wall clocks break reproducibility) | core, sim, fabric, clint |
+//! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim |
+//! | `truncating-cast` | no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` casts (port indices are `usize`; narrowing must be `try_from`) | core, sim, fabric |
+//! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs`) | whole workspace |
+//!
+//! The analysis is *lexical*: a hand-rolled Rust tokenizer
+//! ([`tokenize`]) that understands comments (line, nested block, doc),
+//! string/char/byte literals, raw strings and lifetimes, so rule words
+//! inside comments or strings never fire. Items gated behind a `test` cfg
+//! (`#[cfg(test)]` modules, `#[test]` functions) are skipped entirely.
+//!
+//! ## Allowlist tag
+//!
+//! A finding can be suppressed with an inline justification comment:
+//!
+//! ```text
+//! // lint:allow(no-panic): grant ⊆ request is checked above, so the queue is non-empty
+//! .expect("scheduler granted an empty queue");
+//! ```
+//!
+//! The tag names the rule and *must* carry a non-empty justification after
+//! the colon; it applies to its own line and the following line (so it works
+//! both trailing and on the line above). A tag without a justification is
+//! itself reported as a `bad-allow-tag` finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Rule identifiers, used in findings and in `lint:allow(...)` tags.
+pub mod rules {
+    /// `HashMap`/`HashSet` in deterministic code.
+    pub const HASH_COLLECTIONS: &str = "hash-collections";
+    /// `SystemTime`/`Instant` in simulation logic.
+    pub const WALL_CLOCK: &str = "wall-clock";
+    /// `unwrap()`/`expect()`/`panic!` in non-test library code.
+    pub const NO_PANIC: &str = "no-panic";
+    /// Truncating `as` casts on integer values.
+    pub const TRUNCATING_CAST: &str = "truncating-cast";
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+    /// Malformed `lint:allow` tag (unknown rule or empty justification).
+    pub const BAD_ALLOW_TAG: &str = "bad-allow-tag";
+
+    /// Every content rule a `lint:allow` tag may name.
+    pub const ALL: [&str; 5] = [
+        HASH_COLLECTIONS,
+        WALL_CLOCK,
+        NO_PANIC,
+        TRUNCATING_CAST,
+        FORBID_UNSAFE,
+    ];
+}
+
+/// Which rules to run on one file. Built per-file by the CLI from the path
+/// (different crates have different contracts); [`RuleSet::all`] enables
+/// everything (used for explicit file arguments and the self-test fixture).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleSet {
+    /// Enforce the `hash-collections` rule.
+    pub hash_collections: bool,
+    /// Enforce the `wall-clock` rule.
+    pub wall_clock: bool,
+    /// Enforce the `no-panic` rule.
+    pub no_panic: bool,
+    /// Enforce the `truncating-cast` rule.
+    pub truncating_cast: bool,
+    /// Require `#![forbid(unsafe_code)]` (crate roots only).
+    pub forbid_unsafe: bool,
+}
+
+impl RuleSet {
+    /// All rules on.
+    pub fn all() -> Self {
+        RuleSet {
+            hash_collections: true,
+            wall_clock: true,
+            no_panic: true,
+            truncating_cast: true,
+            forbid_unsafe: true,
+        }
+    }
+
+    /// True if no rule is enabled (the file can be skipped).
+    pub fn is_empty(&self) -> bool {
+        !(self.hash_collections
+            || self.wall_clock
+            || self.no_panic
+            || self.truncating_cast
+            || self.forbid_unsafe)
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path label of the offending file (as given to [`lint_source`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`rules`]).
+    pub rule: &'static str,
+    /// Short description of what was matched.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Token categories the rules care about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+/// A comment with the 1-based line it starts on.
+#[derive(Clone, Debug)]
+struct Comment {
+    text: String,
+    line: usize,
+}
+
+/// Lexes `source` into identifier/punct tokens plus the comment list.
+/// Strings, chars, byte and raw literals are consumed without producing
+/// tokens; numeric literals are consumed likewise (their suffixes must not
+/// look like idents, so `0u32` never trips `truncating-cast`).
+fn tokenize(source: &str) -> (Vec<Spanned>, Vec<Comment>) {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: bytes[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: bytes[start..i.min(n)].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                i = skip_string(&bytes, i, &mut line);
+            }
+            'r' | 'b' if starts_literal(&bytes, i) => {
+                let end = skip_prefixed_literal(&bytes, i);
+                line += count_lines(&bytes[i..end]);
+                i = end;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if i + 1 < n && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_') {
+                    let mut j = i + 2;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' && j == i + 2 {
+                        i = j + 1; // single-char literal like 'a'
+                    } else {
+                        i = j; // lifetime: skip the label, no closing quote
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '('.
+                    let mut j = i + 1;
+                    while j < n && bytes[j] != '\'' {
+                        if bytes[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal incl. type suffix (`0u32`, `1_000`, `0x5EED`,
+                // `1.5e-3`): consume so the suffix never becomes an ident.
+                while i < n
+                    && (bytes[i].is_alphanumeric()
+                        || bytes[i] == '_'
+                        || bytes[i] == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit())
+                {
+                    i += 1;
+                }
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    toks.push(Spanned {
+                        tok: Tok::Punct(c),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// True if position `i` (at `r` or `b`) starts a raw/byte literal rather
+/// than an identifier.
+fn starts_literal(bytes: &[char], i: usize) -> bool {
+    // Not a literal if preceded by an ident char (e.g. the `r` in `var`).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let n = bytes.len();
+    match bytes[i] {
+        'r' => i + 1 < n && (bytes[i + 1] == '"' || bytes[i + 1] == '#'),
+        'b' => {
+            i + 1 < n
+                && (bytes[i + 1] == '"'
+                    || bytes[i + 1] == '\''
+                    || (bytes[i + 1] == 'r'
+                        && i + 2 < n
+                        && (bytes[i + 2] == '"' || bytes[i + 2] == '#')))
+        }
+        _ => false,
+    }
+}
+
+/// Skips a plain `"..."` string starting at `i`, tracking newlines.
+fn skip_string(bytes: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    i += 1;
+    while i < n {
+        match bytes[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skips a literal starting with `r`/`b`: raw strings (`r"…"`, `r#"…"#`),
+/// byte strings (`b"…"`, `br#"…"#`), raw idents (`r#name`) and byte chars
+/// (`b'x'`). Returns the index just past the literal.
+fn skip_prefixed_literal(bytes: &[char], mut i: usize) -> usize {
+    let n = bytes.len();
+    // Consume the prefix letters.
+    if bytes[i] == 'b' {
+        i += 1;
+    }
+    if i < n && bytes[i] == 'r' {
+        i += 1;
+    }
+    if i < n && bytes[i] == '\'' {
+        // Byte char b'x' / b'\n'.
+        i += 1;
+        while i < n && bytes[i] != '\'' {
+            if bytes[i] == '\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        return (i + 1).min(n);
+    }
+    // Count `#`s of a raw string; `r#ident` has no quote after the hashes.
+    let mut hashes = 0;
+    while i < n && bytes[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || bytes[i] != '"' {
+        // Raw identifier like r#type: lex as an ident (skipped — raw idents
+        // are never rule words).
+        while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    i += 1; // opening quote
+    while i < n {
+        if bytes[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// A parsed `lint:allow(rule): justification` tag.
+struct AllowTag {
+    rule: String,
+    justified: bool,
+    line: usize,
+}
+
+/// Extracts every `lint:allow(...)` tag from the comments.
+fn allow_tags(comments: &[Comment]) -> Vec<AllowTag> {
+    let mut tags = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let justified = after
+                .strip_prefix(':')
+                .is_some_and(|j| !j.trim_start_matches(['/', '*']).trim().is_empty());
+            tags.push(AllowTag {
+                rule,
+                justified,
+                line: c.line,
+            });
+            rest = after;
+        }
+    }
+    tags
+}
+
+/// Integer types an `as` cast may silently truncate a port index into.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Lints one file's source text under `rules`, labeling findings with
+/// `path_label`. This is the whole analysis — the binary only adds the
+/// filesystem walk and per-path rule scoping.
+pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Finding> {
+    let (toks, comments) = tokenize(source);
+    let tags = allow_tags(&comments);
+    let mut findings = Vec::new();
+
+    // Malformed tags are findings themselves — a silent bad tag would
+    // suppress nothing while looking like it does. Only checked where some
+    // content rule applies: files outside every content scope (like this
+    // crate's own docs) may mention tags illustratively.
+    let content_rules =
+        rules.hash_collections || rules.wall_clock || rules.no_panic || rules.truncating_cast;
+    for t in tags.iter().filter(|_| content_rules) {
+        if !rules::ALL.contains(&t.rule.as_str()) || !t.justified {
+            findings.push(Finding {
+                file: path_label.to_string(),
+                line: t.line,
+                rule: rules::BAD_ALLOW_TAG,
+                excerpt: if t.justified {
+                    format!("unknown rule `{}` in lint:allow tag", t.rule)
+                } else {
+                    format!("lint:allow({}) tag lacks a justification", t.rule)
+                },
+            });
+        }
+    }
+    let allowed = |rule: &str, line: usize| {
+        tags.iter()
+            .any(|t| t.justified && t.rule == rule && (t.line == line || t.line + 1 == line))
+    };
+    let mut push = |rule: &'static str, line: usize, excerpt: String| {
+        if !allowed(rule, line) {
+            findings.push(Finding {
+                file: path_label.to_string(),
+                line,
+                rule,
+                excerpt,
+            });
+        }
+    };
+
+    if rules.forbid_unsafe {
+        let want: Vec<Tok> = [
+            Tok::Punct('#'),
+            Tok::Punct('!'),
+            Tok::Punct('['),
+            Tok::Ident("forbid".into()),
+            Tok::Punct('('),
+            Tok::Ident("unsafe_code".into()),
+            Tok::Punct(')'),
+            Tok::Punct(']'),
+        ]
+        .into();
+        let present = toks
+            .windows(want.len())
+            .any(|w| w.iter().map(|s| &s.tok).eq(want.iter()));
+        if !present {
+            push(
+                rules::FORBID_UNSAFE,
+                1,
+                "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            );
+        }
+    }
+
+    // Content rules, with test-gated items skipped.
+    let mut i = 0;
+    while i < toks.len() {
+        // `#[...]` outer attribute: if it mentions the `test` cfg, skip the
+        // item it decorates (to the next `;` or over its `{ ... }` body).
+        if toks[i].tok == Tok::Punct('#')
+            && i + 1 < toks.len()
+            && toks[i + 1].tok == Tok::Punct('[')
+        {
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut is_test = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(id) if id == "test" => is_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test {
+                i = skip_item(&toks, j);
+            } else {
+                i = j;
+            }
+            continue;
+        }
+
+        let line = toks[i].line;
+        if let Tok::Ident(id) = &toks[i].tok {
+            let next = toks.get(i + 1).map(|s| &s.tok);
+            match id.as_str() {
+                "HashMap" | "HashSet" if rules.hash_collections => {
+                    push(rules::HASH_COLLECTIONS, line, format!("use of {id}"));
+                }
+                "SystemTime" | "Instant" if rules.wall_clock => {
+                    push(rules::WALL_CLOCK, line, format!("use of {id}"));
+                }
+                "unwrap" | "expect" if rules.no_panic && next == Some(&Tok::Punct('(')) => {
+                    push(rules::NO_PANIC, line, format!("call to {id}()"));
+                }
+                "panic" if rules.no_panic && next == Some(&Tok::Punct('!')) => {
+                    push(rules::NO_PANIC, line, "panic! invocation".to_string());
+                }
+                "as" if rules.truncating_cast => {
+                    if let Some(Tok::Ident(ty)) = next {
+                        if NARROW_INTS.contains(&ty.as_str()) {
+                            push(
+                                rules::TRUNCATING_CAST,
+                                line,
+                                format!("truncating cast `as {ty}`"),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+
+    findings
+}
+
+/// Skips one item starting at token `i` (just past its attributes): either
+/// a declaration ending in `;` before any brace, or a braced body. Also
+/// consumes any further attributes (`#[test] #[should_panic] fn ...`).
+fn skip_item(toks: &[Spanned], mut i: usize) -> usize {
+    let n = toks.len();
+    // Further attributes on the same item.
+    while i + 1 < n && toks[i].tok == Tok::Punct('#') && toks[i + 1].tok == Tok::Punct('[') {
+        let mut depth = 1;
+        i += 2;
+        while i < n && depth > 0 {
+            match toks[i].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut depth = 0usize;
+    while i < n {
+        match toks[i].tok {
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(src: &str) -> Vec<Finding> {
+        lint_source("t.rs", src, &RuleSet::all())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    const PREAMBLE: &str = "#![forbid(unsafe_code)]\n";
+
+    #[test]
+    fn clean_source_passes() {
+        let src = format!("{PREAMBLE}pub fn f(x: usize) -> usize {{ x + 1 }}\n");
+        assert!(lint_all(&src).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged() {
+        let src = format!("{PREAMBLE}use std::collections::HashMap;\n");
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::HASH_COLLECTIONS]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn words_in_comments_and_strings_ignored() {
+        let src = format!(
+            "{PREAMBLE}// HashMap unwrap() panic! Instant as u8\n\
+             /* nested /* HashSet */ still comment */\n\
+             const S: &str = \"HashMap unwrap() as u16\";\n\
+             const R: &str = r#\"Instant \" panic!\"#;\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn no_panic_catches_calls_but_not_lookalikes() {
+        let src = format!(
+            "{PREAMBLE}fn f(o: Option<u64>) -> u64 {{\n\
+             o.unwrap_or(3); o.expect_none_hypothetical; o.unwrap()\n\
+             }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::NO_PANIC]);
+        assert!(f[0].excerpt.contains("unwrap()"));
+    }
+
+    #[test]
+    fn panic_macro_flagged() {
+        let src = format!("{PREAMBLE}fn f() {{ panic!(\"boom\") }}\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::NO_PANIC]);
+    }
+
+    #[test]
+    fn truncating_cast_flagged_narrow_only() {
+        let src = format!(
+            "{PREAMBLE}fn f(x: usize) {{ let _ = x as u32; let _ = x as u64; let _ = x as f64; }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::TRUNCATING_CAST]);
+        assert!(f[0].excerpt.contains("as u32"));
+    }
+
+    #[test]
+    fn numeric_suffixes_are_not_casts() {
+        let src = format!("{PREAMBLE}const X: u32 = 0u32; const Y: u8 = 7u8;\n");
+        assert!(lint_all(&src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let src = format!("{PREAMBLE}use std::time::Instant;\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::WALL_CLOCK]);
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_flagged() {
+        let f = lint_all("pub fn f() {}\n");
+        assert_eq!(rules_of(&f), [rules::FORBID_UNSAFE]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = format!(
+            "{PREAMBLE}#[cfg(test)]\nmod tests {{\n  #[test]\n  fn t() {{ Some(1).unwrap(); panic!(); }}\n}}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_skipped() {
+        let src = format!(
+            "{PREAMBLE}#[test]\n#[should_panic(expected = \"x\")]\nfn t() {{ Some(1).unwrap() }}\n\
+             fn live() {{ Some(1).unwrap(); }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::NO_PANIC]);
+        assert_eq!(f[0].line, 5, "only the non-test fn fires");
+    }
+
+    #[test]
+    fn allow_tag_suppresses_same_and_next_line() {
+        let trailing = format!(
+            "{PREAMBLE}fn f() {{ Some(1).unwrap(); }} // lint:allow(no-panic): invariant documented here\n"
+        );
+        assert!(lint_all(&trailing).is_empty());
+        let above = format!(
+            "{PREAMBLE}// lint:allow(truncating-cast): ids fit in u8 by construction\nfn f(x: usize) -> u8 {{ x as u8 }}\n"
+        );
+        assert!(lint_all(&above).is_empty());
+    }
+
+    #[test]
+    fn allow_tag_does_not_leak_past_next_line() {
+        let src = format!(
+            "{PREAMBLE}// lint:allow(no-panic): only covers the next line\nfn f() {{}}\nfn g() {{ Some(1).unwrap(); }}\n"
+        );
+        assert_eq!(rules_of(&lint_all(&src)), [rules::NO_PANIC]);
+    }
+
+    #[test]
+    fn unjustified_or_unknown_allow_tags_are_findings() {
+        let src = format!("{PREAMBLE}// lint:allow(no-panic):\nfn f() {{}}\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::BAD_ALLOW_TAG]);
+        let src = format!("{PREAMBLE}// lint:allow(made-up-rule): because\nfn f() {{}}\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::BAD_ALLOW_TAG]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = format!(
+            "{PREAMBLE}fn f<'a>(x: &'a [usize]) -> impl Iterator<Item = usize> + 'a {{\n\
+             x.iter().map(|v| *v as u32 as usize)\n}}\n"
+        );
+        // The cast after the lifetimes must still be seen.
+        assert_eq!(rules_of(&lint_all(&src)), [rules::TRUNCATING_CAST]);
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let src = format!(
+            "{PREAMBLE}fn f(c: char) -> bool {{ c == '\\'' || c == '(' || c == 'x' }}\n\
+             fn g() {{ Some(1).unwrap(); }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::NO_PANIC]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn scoped_rulesets_only_fire_enabled_rules() {
+        let src = "use std::collections::HashMap;\nfn f() { Some(1).unwrap(); }\n";
+        let only_hash = RuleSet {
+            hash_collections: true,
+            ..RuleSet::default()
+        };
+        let f = lint_source("t.rs", src, &only_hash);
+        assert_eq!(rules_of(&f), [rules::HASH_COLLECTIONS]);
+    }
+
+    #[test]
+    fn byte_and_raw_literals_skipped() {
+        let src = format!(
+            "{PREAMBLE}const A: &[u8] = b\"HashMap\";\nconst B: u8 = b'H';\nconst C: &str = r\"unwrap()\";\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn finding_display_is_grep_friendly() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: rules::NO_PANIC,
+            excerpt: "call to unwrap()".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:7: [no-panic] call to unwrap()"
+        );
+    }
+}

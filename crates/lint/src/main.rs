@@ -1,0 +1,229 @@
+//! The `lcf-lint` binary: walks the workspace and enforces the repo's
+//! determinism and robustness rules (see the `lcf_lint` crate docs).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p lcf-lint              # lint the whole workspace (scoped rules)
+//! cargo run -p lcf-lint -- FILE...   # lint specific files with ALL rules
+//! cargo run -p lcf-lint -- --self-test
+//! ```
+//!
+//! Exits non-zero iff any finding is reported (or the self-test fails).
+
+#![forbid(unsafe_code)]
+
+use lcf_lint::{lint_source, rules, Finding, RuleSet};
+use std::path::{Path, PathBuf};
+
+/// The seeded-violation fixture, embedded so `--self-test` needs no path
+/// guessing. One line per rule, plus a correctly allowlisted line that must
+/// NOT fire.
+const SELF_TEST_FIXTURE: &str = include_str!("../fixtures/seeded.rs");
+
+/// Directories never linted: build output, VCS metadata, stored baselines,
+/// and test-only trees (tests/, benches/, examples/, fixtures/ — the rules
+/// target library and binary code).
+const SKIP_DIRS: [&str; 7] = [
+    "target",
+    ".git",
+    ".bench-baseline",
+    "fixtures",
+    "tests",
+    "benches",
+    "examples",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = if args.iter().any(|a| a == "--self-test") {
+        self_test()
+    } else if args.is_empty() {
+        lint_workspace()
+    } else {
+        lint_files(&args)
+    };
+    std::process::exit(code);
+}
+
+/// Lints the whole workspace with path-scoped rules. Returns the exit code.
+fn lint_workspace() -> i32 {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let label = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        let ruleset = scope_for(&label);
+        if ruleset.is_empty() {
+            continue;
+        }
+        checked += 1;
+        match std::fs::read_to_string(path) {
+            Ok(src) => findings.extend(lint_source(&label, &src, &ruleset)),
+            Err(e) => findings.push(Finding {
+                file: label,
+                line: 0,
+                rule: "io-error",
+                excerpt: e.to_string(),
+            }),
+        }
+    }
+    report(checked, &findings)
+}
+
+/// Lints explicitly named files with every rule enabled.
+fn lint_files(paths: &[String]) -> i32 {
+    let mut findings = Vec::new();
+    for p in paths {
+        match std::fs::read_to_string(p) {
+            Ok(src) => findings.extend(lint_source(p, &src, &RuleSet::all())),
+            Err(e) => findings.push(Finding {
+                file: p.clone(),
+                line: 0,
+                rule: "io-error",
+                excerpt: e.to_string(),
+            }),
+        }
+    }
+    report(paths.len(), &findings)
+}
+
+/// Prints findings (if any) and the summary line; returns the exit code.
+fn report(checked: usize, findings: &[Finding]) -> i32 {
+    for f in findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lcf-lint: {checked} files checked, no findings");
+        0
+    } else {
+        println!(
+            "lcf-lint: {} finding(s) in {checked} checked files",
+            findings.len()
+        );
+        1
+    }
+}
+
+/// Verifies the analyzer against the embedded seeded fixture: every content
+/// rule must fire at least once, and the allowlisted violation must not.
+fn self_test() -> i32 {
+    let findings = lint_source("fixtures/seeded.rs", SELF_TEST_FIXTURE, &RuleSet::all());
+    let mut failures = Vec::new();
+    for rule in rules::ALL {
+        if !findings.iter().any(|f| f.rule == rule) {
+            failures.push(format!("rule `{rule}` did not fire on the seeded fixture"));
+        }
+    }
+    if findings.iter().any(|f| f.excerpt.contains("as u16")) {
+        failures.push("allowlisted `as u16` cast fired despite its lint:allow tag".to_string());
+    }
+    if findings.iter().any(|f| f.rule == rules::BAD_ALLOW_TAG) {
+        failures.push("fixture's allow tag was rejected as malformed".to_string());
+    }
+    if failures.is_empty() {
+        println!(
+            "lcf-lint self-test: ok ({} findings, all {} rules fired, allow tag honored)",
+            findings.len(),
+            rules::ALL.len()
+        );
+        0
+    } else {
+        for f in &failures {
+            println!("lcf-lint self-test FAILED: {f}");
+        }
+        for f in &findings {
+            println!("  (fixture finding: {f})");
+        }
+        1
+    }
+}
+
+/// Maps a workspace-relative path to the rules that govern it.
+///
+/// * `forbid-unsafe` — every crate root (`src/lib.rs` / `src/main.rs`)
+///   across `crates/`, `compat/` and the root package.
+/// * `hash-collections`, `wall-clock` — deterministic simulation code:
+///   core, sim, fabric, clint. (The compat shims are exempt: `criterion`
+///   legitimately measures wall-clock time.)
+/// * `no-panic` — library code of core and sim.
+/// * `truncating-cast` — core, sim and fabric, where narrow casts could
+///   silently truncate port indices. (clint packs protocol fields into
+///   fixed-width wire formats and is exempt.)
+fn scope_for(label: &str) -> RuleSet {
+    let l = label.replace('\\', "/");
+    let is_crate_root = l.ends_with("src/lib.rs") || l.ends_with("src/main.rs");
+    let deterministic = [
+        "crates/core/",
+        "crates/sim/",
+        "crates/fabric/",
+        "crates/clint/",
+    ]
+    .iter()
+    .any(|p| l.starts_with(p));
+    let no_panic_scope = l.starts_with("crates/core/") || l.starts_with("crates/sim/");
+    let cast_scope = l.starts_with("crates/core/")
+        || l.starts_with("crates/sim/")
+        || l.starts_with("crates/fabric/");
+    RuleSet {
+        hash_collections: deterministic,
+        wall_clock: deterministic,
+        no_panic: no_panic_scope,
+        truncating_cast: cast_scope,
+        forbid_unsafe: is_crate_root,
+    }
+}
+
+/// Finds the workspace root: the manifest dir of this crate is
+/// `<root>/crates/lint`, and a run from elsewhere falls back to walking up
+/// from the current directory to the first `Cargo.toml` with `[workspace]`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = manifest.parent().and_then(Path::parent) {
+        if root.join("Cargo.toml").is_file() {
+            return root.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let is_ws = std::fs::read_to_string(&manifest)
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false);
+            if is_ws {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

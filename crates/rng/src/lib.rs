@@ -19,6 +19,7 @@
 //! (including the RFC 8439 test vector for the 20-round block function), so
 //! two runs with the same seed produce the same stream forever.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// Number of `u32` words in a ChaCha block.

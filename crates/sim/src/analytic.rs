@@ -35,8 +35,8 @@ pub fn fifo_saturation_limit() -> f64 {
 /// Finite-`n` FIFO saturation throughput (Karol et al., Table I). Exact
 /// for the tabulated sizes, the asymptotic limit beyond.
 pub fn fifo_saturation(n: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
     match n {
-        0 => panic!("n must be positive"),
         1 => 1.0,
         2 => 0.7500,
         3 => 0.6825,

@@ -156,7 +156,9 @@ impl CioqSwitch {
                 if !self.voqs[input].has_room_for(head.dst_idx()) {
                     break;
                 }
-                let p = self.pqs[input].pop().expect("head checked");
+                let Some(p) = self.pqs[input].pop() else {
+                    break; // unreachable: `head` returned Some above
+                };
                 let pushed = self.voqs[input].push(p);
                 debug_assert!(pushed);
             }

@@ -81,7 +81,9 @@ impl ObSwitch {
             };
             let dst = head.dst_idx();
             if !self.outputs[dst].is_full() {
-                let p = self.pqs[input].pop().expect("head checked above");
+                let Some(p) = self.pqs[input].pop() else {
+                    continue; // unreachable: `head` returned Some above
+                };
                 let pushed = self.outputs[dst].push(p);
                 debug_assert!(pushed, "room was checked before the pop");
             }

@@ -17,10 +17,18 @@ pub struct Packet {
 
 impl Packet {
     /// Creates a packet.
+    ///
+    /// # Panics
+    /// Panics if a port index exceeds `u32::MAX` — ports are switch-port
+    /// numbers, orders of magnitude below that.
     pub fn new(src: usize, dst: usize, generated_at: u64) -> Self {
+        // lint:allow(no-panic): an out-of-range port is a construction bug at the call site
+        let src = u32::try_from(src).expect("src port exceeds u32::MAX");
+        // lint:allow(no-panic): an out-of-range port is a construction bug at the call site
+        let dst = u32::try_from(dst).expect("dst port exceeds u32::MAX");
         Packet {
-            src: src as u32,
-            dst: dst as u32,
+            src,
+            dst,
             generated_at,
         }
     }

@@ -47,6 +47,11 @@ pub struct SimReport {
     pub jain_index: f64,
     /// Seed the run used.
     pub seed: u64,
+    /// Human-readable description of the matching-kernel backend that
+    /// actually ran (from [`lcf_core::registry::BackendChoice`]) — surfaces
+    /// the silent `n > 64` scalar fallback. `"n/a (no scheduler)"` for the
+    /// output-buffered model.
+    pub backend: String,
 }
 
 impl SimReport {
@@ -87,22 +92,32 @@ impl Model {
     }
 }
 
-fn build_model(cfg: &SimConfig) -> Model {
+/// Builds the model plus the backend description for the report. In checked
+/// debug builds the scheduler is wrapped in a
+/// [`CheckedScheduler`](lcf_core::check::CheckedScheduler) that validates
+/// every matching in the slot loop (and shadows bitset kernels with their
+/// scalar twin); release builds run the bare scheduler.
+fn build_model(cfg: &SimConfig) -> (Model, String) {
     match cfg.model {
-        ModelKind::OutputBuffered => Model::Ob(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
+        ModelKind::OutputBuffered => (
+            Model::Ob(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
+            "n/a (no scheduler)".to_string(),
+        ),
         ModelKind::Scheduler(kind) => {
-            let scheduler = kind.build_with_backend(
-                cfg.n,
-                cfg.iterations_for_model(),
-                cfg.seed ^ 0x5EED,
-                cfg.backend,
-            );
+            let (iterations, seed) = (cfg.iterations_for_model(), cfg.seed ^ 0x5EED);
+            #[cfg(all(feature = "check-invariants", debug_assertions))]
+            let (scheduler, choice) = kind.build_checked(cfg.n, iterations, seed, cfg.backend);
+            #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
+            let (scheduler, choice) = kind.build_with_backend(cfg.n, iterations, seed, cfg.backend);
             let mode = if kind == SchedulerKind::Fifo {
                 QueueMode::SingleFifo { cap: cfg.voq_cap }
             } else {
                 QueueMode::Voq { cap: cfg.voq_cap }
             };
-            Model::Iq(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap))
+            (
+                Model::Iq(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap)),
+                choice.to_string(),
+            )
         }
     }
 }
@@ -132,8 +147,9 @@ pub fn run_sim(cfg: &SimConfig) -> SimReport {
 /// Like [`run_sim`] but also returns the raw [`SimStats`] collector (needed
 /// by the fairness experiment, which inspects per-pair service counts).
 pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
+    // lint:allow(no-panic): documented precondition (# Panics above); try_sweep contains it
     cfg.validate().expect("invalid simulation config");
-    let mut model = build_model(cfg);
+    let (mut model, backend) = build_model(cfg);
     let mut traffic = build_traffic(cfg);
     let mut rng = SimRng::seed_from_u64(cfg.seed);
 
@@ -167,6 +183,7 @@ pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
         throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * cfg.n as f64),
         jain_index: stats.service().jain_index(),
         seed: cfg.seed,
+        backend,
     };
     (report, stats)
 }
@@ -234,17 +251,27 @@ pub fn try_sweep(configs: &[SimConfig]) -> Vec<Result<SimReport, SweepError>> {
                     index: idx,
                     message: panic_message(payload),
                 });
-                *results[idx].lock().unwrap() = Some(outcome);
+                // A poisoned slot only means a sibling worker panicked while
+                // holding this uncontended lock — the data is still ours.
+                *results[idx]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(index, slot)| {
             slot.into_inner()
-                .unwrap()
-                .expect("every config produces an outcome")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| {
+                    Err(SweepError {
+                        index,
+                        message: "worker recorded no outcome".to_string(),
+                    })
+                })
         })
         .collect()
 }
@@ -436,6 +463,32 @@ mod tests {
             );
             assert_eq!(a.jain_index, b.jain_index, "{kind}: fairness diverged");
         }
+    }
+
+    #[test]
+    fn report_surfaces_backend_choice() {
+        use lcf_core::bitkern::Backend;
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentralRr), 0.3);
+        cfg.measure_slots = 500;
+        cfg.warmup_slots = 100;
+        assert_eq!(run_sim(&cfg).backend, "bitset");
+        cfg.backend = Backend::Scalar;
+        assert_eq!(run_sim(&cfg).backend, "scalar");
+        // Past the word width the fallback must be loud, not silent.
+        cfg.backend = Backend::Bitset;
+        cfg.n = 70;
+        let r = run_sim(&cfg);
+        assert!(
+            r.backend.contains("n = 70"),
+            "fallback not surfaced: {}",
+            r.backend
+        );
+        // Schedulers without a kernel and outbuf report their own story.
+        cfg.n = 8;
+        cfg.model = ModelKind::Scheduler(SchedulerKind::MaxSize);
+        assert!(run_sim(&cfg).backend.contains("no word-parallel kernel"));
+        cfg.model = ModelKind::OutputBuffered;
+        assert!(run_sim(&cfg).backend.contains("no scheduler"));
     }
 
     #[test]

@@ -245,7 +245,9 @@ impl IqSwitch {
                 if !fits {
                     break;
                 }
-                let p = self.pqs[input].pop().expect("head checked above");
+                let Some(p) = self.pqs[input].pop() else {
+                    break; // unreachable: `head` returned Some above
+                };
                 let pushed = match &mut self.inputs {
                     InputQueues::Voq(v) => v[input].push(p),
                     InputQueues::Fifo(f) => f[input].push(p),
@@ -279,6 +281,17 @@ impl IqSwitch {
                     }
                 }
                 let matching = scheduler.schedule(&self.requests);
+                // Slot-loop invariant check at the Matching seam: every
+                // matching the engine acts on must be conflict-free and
+                // grant ⊆ request.
+                #[cfg(all(feature = "check-invariants", debug_assertions))]
+                if let Err(v) =
+                    lcf_core::check::ScheduleChecker::new().check(&self.requests, &matching)
+                {
+                    // lint:allow(no-panic): invariant checker aborts on a broken scheduler
+                    panic!("slot loop: {v}");
+                }
+                #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
                 debug_assert!(matching.is_valid_for(&self.requests));
                 matching
             }
@@ -310,6 +323,7 @@ impl IqSwitch {
                 InputQueues::Voq(v) => v[i].pop_for(j),
                 InputQueues::Fifo(f) => f[i].pop(),
             }
+            // lint:allow(no-panic): grant ⊆ request is checked above, so the granted queue is non-empty
             .expect("scheduler granted an empty queue");
             debug_assert_eq!(p.dst_idx(), j, "head packet routed to wrong output");
             stats.on_delivered(&p, slot);

@@ -1,0 +1,63 @@
+//! Fault isolation in [`lcf_sim::runner::try_sweep`]: a scheduler that
+//! panics mid-simulation (the registry's hidden `panic_probe`) must not
+//! poison sibling configurations, and its failure must be visible in the
+//! sweep output.
+
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::runner::try_sweep;
+
+fn cfg(kind: SchedulerKind) -> SimConfig {
+    SimConfig {
+        model: ModelKind::Scheduler(kind),
+        n: 8,
+        load: 0.4,
+        warmup_slots: 200,
+        measure_slots: 1_000,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn panicking_scheduler_does_not_poison_siblings() {
+    let probe = SchedulerKind::from_name("panic_probe").expect("probe is registered by name");
+    let configs = [
+        cfg(SchedulerKind::LcfCentralRr),
+        cfg(probe),
+        cfg(SchedulerKind::Islip),
+    ];
+    let outcomes = try_sweep(&configs);
+    assert_eq!(outcomes.len(), 3);
+
+    let first = outcomes[0].as_ref().expect("sibling before the probe runs");
+    assert_eq!(first.model, "lcf_central_rr");
+    assert!(first.delivered > 0);
+
+    let last = outcomes[2].as_ref().expect("sibling after the probe runs");
+    assert_eq!(last.model, "islip");
+    assert!(last.delivered > 0);
+
+    let err = outcomes[1]
+        .as_ref()
+        .expect_err("the probe config must fail, not vanish");
+    assert_eq!(err.index, 1, "failure is attributed to the right slot");
+    assert!(
+        err.message.contains("panic_probe"),
+        "sweep output must name the faulty scheduler: {}",
+        err.message
+    );
+    // And the rendered form a caller would log carries both.
+    let rendered = err.to_string();
+    assert!(rendered.contains("#1") && rendered.contains("panic_probe"));
+}
+
+#[test]
+fn sweep_with_only_failures_still_returns_in_order() {
+    let probe = SchedulerKind::from_name("panic_probe").expect("probe is registered by name");
+    let outcomes = try_sweep(&[cfg(probe), cfg(probe)]);
+    assert_eq!(outcomes.len(), 2);
+    for (i, o) in outcomes.iter().enumerate() {
+        let err = o.as_ref().expect_err("probe always fails");
+        assert_eq!(err.index, i);
+    }
+}
