@@ -1,0 +1,138 @@
+//! `bench_guard` — asserts that a telemetry-off build of the central LCF
+//! scheduler is still in the same performance class as the committed
+//! baseline (`results/BENCH_schedulers.json`).
+//!
+//! The telemetry layer is feature-gated and must compile to no-ops when the
+//! `telemetry` feature is off. A perf regression here would mean the gating
+//! leaked work (or allocation) into the hot scheduling path. This guard is
+//! deliberately coarse — CI machines are noisy, so the tolerance is a
+//! multiple of the baseline, not a percentage — but it catches the failure
+//! mode that matters: an accidental order-of-magnitude slowdown.
+//!
+//! ```text
+//! cargo run --release -p lcf-bench --bin bench_guard
+//! ```
+//!
+//! Exits non-zero iff any measured median exceeds `TOLERANCE x` baseline.
+
+#![forbid(unsafe_code)]
+
+use lcf_core::registry::SchedulerKind;
+use lcf_core::request::RequestMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Allowed slack over the committed baseline median. The baseline was
+/// recorded under criterion on an idle machine; this guard runs a cruder
+/// timer on whatever CI hands us (observed ~3-4x on slow shared VMs), so
+/// anything under 8x is "same class" — the target failure mode is an
+/// accidental order-of-magnitude slowdown, not percent-level drift.
+const TOLERANCE: f64 = 8.0;
+
+/// Calls per timing sample; large enough that one sample is ~1 ms.
+const CALLS_PER_SAMPLE: usize = 2_000;
+
+/// Timing samples per density; the median of these is compared.
+const SAMPLES: usize = 21;
+
+fn main() {
+    let baseline_path = baseline_path();
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    for density in [0.25, 0.75] {
+        let id = format!("schedule_n16/lcf_central/d{density}");
+        let Some(baseline_ns) = ns_median_for(&baseline, &id) else {
+            eprintln!("bench_guard: baseline entry `{id}` not found in BENCH_schedulers.json");
+            failures += 1;
+            continue;
+        };
+        let measured_ns = measure_lcf_central(16, density);
+        let limit = baseline_ns * TOLERANCE;
+        let verdict = if measured_ns <= limit { "ok" } else { "FAIL" };
+        println!(
+            "bench_guard: {id}  baseline {baseline_ns:8.1} ns  measured {measured_ns:8.1} ns  \
+             limit {limit:8.1} ns  {verdict}"
+        );
+        if measured_ns > limit {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_guard: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("bench_guard: all checks passed (tolerance {TOLERANCE}x)");
+}
+
+/// Median ns per `schedule()` call for central LCF at the given density,
+/// mirroring the pool setup of the `schedule_n16` criterion group.
+fn measure_lcf_central(n: usize, density: f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool: Vec<RequestMatrix> = (0..64)
+        .map(|_| RequestMatrix::random(n, density, &mut rng))
+        .collect();
+    let mut sched = SchedulerKind::LcfCentral.build(n, 4, 11);
+
+    // Warm caches and branch predictors before sampling.
+    let mut idx = 0usize;
+    for _ in 0..CALLS_PER_SAMPLE {
+        let m = sched.schedule(&pool[idx % pool.len()]);
+        std::hint::black_box(m.size());
+        idx += 1;
+    }
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..CALLS_PER_SAMPLE {
+                let m = sched.schedule(&pool[idx % pool.len()]);
+                std::hint::black_box(m.size());
+                idx += 1;
+            }
+            start.elapsed().as_nanos() as f64 / CALLS_PER_SAMPLE as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Extracts `ns_median` for the result entry with the given id from the
+/// criterion JSON export. Hand-rolled to keep the bench crate
+/// dependency-free: finds the quoted id, then the next `"ns_median"` key
+/// within that entry. Tolerates arbitrary whitespace after colons.
+fn ns_median_for(json: &str, id: &str) -> Option<f64> {
+    let id_quoted = format!("\"{id}\"");
+    let at = json.find(&id_quoted)?;
+    let rest = &json[at + id_quoted.len()..];
+    // Entries are flat objects, so the matching median precedes the next id.
+    let entry_end = rest.find("\"id\"").unwrap_or(rest.len());
+    let entry = &rest[..entry_end];
+    let m = entry.find("\"ns_median\"")?;
+    let after_key = &entry[m + "\"ns_median\"".len()..];
+    let after_colon = after_key.trim_start().strip_prefix(':')?.trim_start();
+    let num = after_colon
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect::<String>();
+    num.parse().ok()
+}
+
+/// `results/BENCH_schedulers.json` relative to the workspace root (the
+/// manifest dir of this crate is `<root>/crates/bench`).
+fn baseline_path() -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|root| root.join("results/BENCH_schedulers.json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("results/BENCH_schedulers.json"))
+}

@@ -49,11 +49,14 @@ fn main() {
             row.push(stats.latency_quantile(q).to_string());
         }
         rows.push(row);
-        for (value, cum) in stats.latency_cdf() {
+        for point in stats.latency_cdf() {
             csv_rows.push(vec![
                 model.name().to_string(),
-                value.to_string(),
-                format!("{cum}"),
+                point.value.to_string(),
+                format!("{}", point.fraction),
+                // The final CDF point of an overflowing histogram is a lower
+                // bound, not an observed delay; plotting scripts can filter.
+                u8::from(point.overflow).to_string(),
             ]);
         }
     }
@@ -66,6 +69,11 @@ fn main() {
 
     let dir = cli::results_dir();
     let path = dir.join("latency_cdf.csv");
-    write_csv(&path, &["model", "delay_slots", "cum_fraction"], &csv_rows).expect("write csv");
+    write_csv(
+        &path,
+        &["model", "delay_slots", "cum_fraction", "overflow"],
+        &csv_rows,
+    )
+    .expect("write csv");
     eprintln!("wrote {} (full CDFs)", path.display());
 }

@@ -29,8 +29,13 @@ pub fn help() -> String {
      \x20            [--slots 100000] [--warmup 20000] [--seed N]\n\
      \x20            [--pattern uniform|nonself|diagonal|hotspot:PORT:FRAC]\n\
      \x20            [--bursty MEAN_BURST] [--backend bitset|scalar]\n\
+     \x20            [--trace out.jsonl] [--metrics out.json] [--trace-cap N]\n\
      \x20 sweep      simulate many (scheduler, load) points\n\
      \x20            --loads 0.5,0.8,0.9 [--schedulers all|a,b,c] [...simulate opts]\n\
+     \x20            [--trace out.jsonl] [--metrics out.json]\n\
+     \x20 trace      replay one seed and pretty-print scheduler decisions\n\
+     \x20            [--scheduler lcf_central_rr] [--ports 4] [--load 0.85]\n\
+     \x20            [--slots 12] [--seed N] (needs the `telemetry` feature)\n\
      \x20 hw         hardware cost summary [--ports 16] [--clock-mhz 66]\n\
      \x20 fabric     crossbar vs Clos dimensioning --ports 64\n\
      \x20 clint      simulate the Clint interconnect\n\
@@ -42,6 +47,44 @@ pub fn help() -> String {
      Scheduler names: lcf_central lcf_central_rr lcf_dist lcf_dist_rr pim\n\
      islip wfront fifo maxsize (plus `outbuf`, `lqf`, `ocf` for simulate).\n"
         .to_string()
+}
+
+/// True if the invocation asked for telemetry output.
+fn wants_telemetry(args: &Args) -> bool {
+    args.get("trace").is_some() || args.get("metrics").is_some()
+}
+
+/// Error for telemetry surfaces in a build without the feature.
+#[cfg(not(feature = "telemetry"))]
+const NEEDS_TELEMETRY: &str = "telemetry is not compiled into this binary; \
+    rebuild with `--features telemetry` \
+    (e.g. `cargo run -p lcf-cli --features telemetry --bin lcf -- ...`)";
+
+/// Writes `--trace` / `--metrics` outputs and appends a summary of what
+/// went where to `out`.
+#[cfg(feature = "telemetry")]
+fn export_telemetry(
+    args: &Args,
+    trace: &lcf_telemetry::TraceBuffer,
+    metrics: &lcf_telemetry::MetricsRegistry,
+    out: &mut String,
+) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, trace.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(
+            out,
+            "trace          {} events -> {} ({} evicted)",
+            trace.len(),
+            path,
+            trace.evicted()
+        )
+        .unwrap();
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "metrics        {} entries -> {}", metrics.len(), path).unwrap();
+    }
+    Ok(())
 }
 
 fn parse_pattern(args: &Args, n: usize) -> Result<DestPattern, String> {
@@ -175,6 +218,18 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     let model =
         ModelKind::from_name(name).ok_or_else(|| format!("unknown scheduler/model `{name}`"))?;
     let cfg = sim_config(args, model)?;
+    #[cfg(feature = "telemetry")]
+    if wants_telemetry(args) {
+        let cap = args.get_parsed("trace-cap", 0usize)?;
+        let (report, telemetry) = lcf_sim::runner::run_sim_traced(&cfg, cap);
+        let mut out = report_block(&report);
+        export_telemetry(args, &telemetry.trace, &telemetry.metrics, &mut out)?;
+        return Ok(out);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if wants_telemetry(args) {
+        return Err(NEEDS_TELEMETRY.into());
+    }
     let report = run_sim(&cfg);
     Ok(report_block(&report))
 }
@@ -269,11 +324,22 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             configs.push(cfg);
         }
     }
+    #[cfg(feature = "telemetry")]
+    if wants_telemetry(args) {
+        return sweep_traced(args, &models, &loads, &configs);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if wants_telemetry(args) {
+        return Err(NEEDS_TELEMETRY.into());
+    }
     let reports = lcf_sim::runner::sweep(&configs);
+    Ok(sweep_table(&models, &loads, &reports))
+}
 
+fn sweep_table(models: &[ModelKind], loads: &[f64], reports: &[SimReport]) -> String {
     let mut out = String::new();
     write!(out, "{:<16}", "model").unwrap();
-    for load in &loads {
+    for load in loads {
         write!(out, " {load:>9}").unwrap();
     }
     out.push('\n');
@@ -286,7 +352,189 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         out.push('\n');
     }
     out.push_str("(mean queueing delay in slots)\n");
+    out
+}
+
+/// The traced sweep: same table, plus `--trace` (per-config traces
+/// concatenated behind `sweep_config` marker events) and `--metrics`
+/// (the batch's merged registry).
+#[cfg(feature = "telemetry")]
+fn sweep_traced(
+    args: &Args,
+    models: &[ModelKind],
+    loads: &[f64],
+    configs: &[SimConfig],
+) -> Result<String, String> {
+    use lcf_telemetry::Event;
+
+    // Sweeps cover many configs, so the per-config trace is bounded by
+    // default — the metrics registry carries the aggregate story.
+    let cap = args.get_parsed("trace-cap", 4096usize)?;
+    let (outcomes, merged) = lcf_sim::runner::try_sweep_traced(configs, cap);
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut telemetries = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (report, telemetry) = outcome.map_err(|e| e.to_string())?;
+        reports.push(report);
+        telemetries.push(telemetry);
+    }
+
+    let mut out = sweep_table(models, loads, &reports);
+    if let Some(path) = args.get("trace") {
+        let mut jsonl = String::new();
+        let mut events = 0usize;
+        for (idx, (report, telemetry)) in reports.iter().zip(&telemetries).enumerate() {
+            let marker = Event::new(0, "sweep_config")
+                .field("index", idx)
+                .field("model", report.model.clone())
+                .field("load", report.load);
+            jsonl.push_str(&marker.to_json());
+            jsonl.push('\n');
+            jsonl.push_str(&telemetry.trace.to_jsonl());
+            events += telemetry.trace.len();
+        }
+        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(
+            out,
+            "trace          {events} events across {} configs -> {path}",
+            reports.len()
+        )
+        .unwrap();
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, merged.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "metrics        {} entries -> {}", merged.len(), path).unwrap();
+    }
     Ok(out)
+}
+
+/// `lcf trace` — replay one seed and pretty-print the scheduler's
+/// decisions. Small defaults (4 ports, 12 slots, no warm-up) keep the
+/// output human-sized; every knob of `simulate` is accepted.
+#[cfg(feature = "telemetry")]
+pub fn trace(args: &Args) -> Result<String, String> {
+    let name = args.get("scheduler").unwrap_or("lcf_central_rr");
+    let model =
+        ModelKind::from_name(name).ok_or_else(|| format!("unknown scheduler/model `{name}`"))?;
+    if model == ModelKind::OutputBuffered {
+        return Err("the output-buffered model has no scheduler to trace".into());
+    }
+    let n = args.get_parsed("ports", 4usize)?;
+    let cfg = SimConfig {
+        model,
+        n,
+        load: args.get_parsed("load", 0.85f64)?,
+        pattern: parse_pattern(args, n)?,
+        iterations: args.get_parsed("iterations", 4usize)?,
+        islip_iterations: args.get_parsed("islip-iterations", 4usize)?,
+        warmup_slots: args.get_parsed("warmup", 0u64)?,
+        measure_slots: args.get_parsed("slots", 12u64)?,
+        seed: args.get_parsed("seed", 0x601Du64)?,
+        backend: match args.get("backend") {
+            None => lcf_core::bitkern::Backend::default(),
+            Some(b) => lcf_core::bitkern::Backend::from_name(b)
+                .ok_or_else(|| format!("unknown backend `{b}` (want scalar|bitset)"))?,
+        },
+        ..SimConfig::paper_default()
+    };
+    cfg.validate()?;
+
+    let (report, telemetry) = lcf_sim::runner::run_sim_traced(&cfg, 0);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} decisions, {} ports, load {}, seed {} ({} slots):",
+        report.model, report.n, report.load, report.seed, report.slots
+    )
+    .unwrap();
+    for event in telemetry.trace.iter() {
+        writeln!(out, "{}", pretty_event(event)).unwrap();
+    }
+    writeln!(
+        out,
+        "{} events; delivered {} of {} generated",
+        telemetry.trace.len(),
+        report.delivered,
+        report.generated
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `lcf trace` in a build without the feature.
+#[cfg(not(feature = "telemetry"))]
+pub fn trace(_args: &Args) -> Result<String, String> {
+    Err(NEEDS_TELEMETRY.into())
+}
+
+/// Renders one trace event as a human-readable line. Unknown kinds fall
+/// back to their JSON form, so the printer never loses information.
+#[cfg(feature = "telemetry")]
+fn pretty_event(e: &lcf_telemetry::Event) -> String {
+    use lcf_telemetry::Value;
+    let get = |name: &str| e.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v);
+    let num = |name: &str| match get(name) {
+        Some(Value::U64(v)) => *v,
+        _ => 0,
+    };
+    let pairs = |name: &str| -> String {
+        let Some(Value::Seq(seq)) = get(name) else {
+            return String::new();
+        };
+        seq.iter()
+            .map(|p| match p {
+                Value::Seq(ij) if ij.len() == 2 => {
+                    format!("({},{})", ij[0].to_json(), ij[1].to_json())
+                }
+                other => other.to_json(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    match e.kind {
+        "grant" => {
+            let reason = match get("reason") {
+                Some(Value::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            let losers = pairs("losers");
+            let beat = if losers.is_empty() {
+                String::new()
+            } else {
+                format!("  beat (input,nrq): {losers}")
+            };
+            format!(
+                "slot {:>4}  T{} <- I{}  {:<16} nrq {}{}",
+                e.slot,
+                num("output"),
+                num("input"),
+                reason,
+                num("nrq"),
+                beat
+            )
+        }
+        "pre_grant" => format!(
+            "slot {:>4}  T{} <- I{}  rr pre-grant",
+            e.slot,
+            num("output"),
+            num("input")
+        ),
+        "iteration" => format!(
+            "slot {:>4}  iter {}: requests {} | grants {} | accepts {}",
+            e.slot,
+            num("iter"),
+            pairs("requests"),
+            pairs("grants"),
+            pairs("accepts")
+        ),
+        "drop_pq" => format!(
+            "slot {:>4}  DROP input {} (dst {}) — packet queue full",
+            e.slot,
+            num("input"),
+            num("dst")
+        ),
+        _ => format!("slot {:>4}  {}", e.slot, e.to_json()),
+    }
 }
 
 /// `lcf hw`.
@@ -600,6 +848,81 @@ mod tests {
         .unwrap();
         assert!(out.contains("retransmissions"));
         assert!(out.contains("delivered (unique)"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_pretty_prints_decisions() {
+        let out = trace(&parse(&["--slots", "6", "--seed", "7"])).unwrap();
+        assert!(out.contains("lcf_central_rr decisions"), "{out}");
+        // At least one grant line with a spelled-out reason.
+        assert!(
+            ["only_choice", "rr_position", "min_count", "tie_break"]
+                .iter()
+                .any(|r| out.contains(r)),
+            "{out}"
+        );
+        assert!(out.contains("events; delivered"), "{out}");
+        // Iterative schedulers print per-iteration request/grant/accept sets.
+        let islip = trace(&parse(&["--scheduler", "islip", "--slots", "4"])).unwrap();
+        assert!(islip.contains("iter 0:"), "{islip}");
+        assert!(islip.contains("accepts"), "{islip}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn simulate_exports_trace_and_metrics() {
+        let dir = std::env::temp_dir();
+        let tp = dir.join("lcf_cli_test_trace.jsonl");
+        let mp = dir.join("lcf_cli_test_metrics.json");
+        let args = parse(&[
+            "--scheduler",
+            "lcf_central_rr",
+            "--load",
+            "0.5",
+            "--ports",
+            "4",
+            "--slots",
+            "200",
+            "--warmup",
+            "50",
+            "--trace",
+            tp.to_str().unwrap(),
+            "--metrics",
+            mp.to_str().unwrap(),
+        ]);
+        let out = simulate(&args).unwrap();
+        assert!(out.contains("trace "), "{out}");
+        assert!(out.contains("metrics "), "{out}");
+        let trace = std::fs::read_to_string(&tp).unwrap();
+        assert!(!trace.is_empty());
+        assert!(
+            trace.lines().all(|l| l.starts_with("{\"slot\":")),
+            "bad JSONL"
+        );
+        let metrics = std::fs::read_to_string(&mp).unwrap();
+        assert!(metrics.contains("\"sim.slots\":200"), "{metrics}");
+        let _ = std::fs::remove_file(&tp);
+        let _ = std::fs::remove_file(&mp);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn telemetry_surfaces_explain_the_missing_feature() {
+        let err = trace(&parse(&[])).unwrap_err();
+        assert!(err.contains("--features telemetry"), "{err}");
+        let args = parse(&[
+            "--scheduler",
+            "islip",
+            "--slots",
+            "100",
+            "--warmup",
+            "10",
+            "--trace",
+            "/tmp/never-written.jsonl",
+        ]);
+        let err = simulate(&args).unwrap_err();
+        assert!(err.contains("--features telemetry"), "{err}");
     }
 
     #[test]

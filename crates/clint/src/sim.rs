@@ -9,9 +9,26 @@
 use crate::packets::ConfigPacket;
 use crate::pipeline::BulkPipeline;
 use crate::quick::QuickChannel;
+#[cfg(feature = "telemetry")]
+use lcf_telemetry::{Event, MetricsRegistry, SlotClock, TraceBuffer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+
+/// Telemetry collected by a traced Clint run: per-slot bulk pipeline
+/// events (schedule/transfer/acknowledge stage progress), quick-channel
+/// collision events and CRC/reservation counters, all stamped from the
+/// simulation's slot clock.
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Default)]
+pub struct ClintTelemetry {
+    /// Event trace (ring buffer; oldest evicted when full).
+    pub trace: TraceBuffer,
+    /// Counters and per-slot distributions.
+    pub metrics: MetricsRegistry,
+    /// The time base the events are stamped from.
+    pub clock: SlotClock,
+}
 
 /// Configuration of a Clint simulation.
 #[derive(Clone, Debug)]
@@ -50,7 +67,10 @@ impl Default for ClintConfig {
 }
 
 /// Aggregate results of a Clint simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` backs the telemetry contract: a traced and an untraced run
+/// of the same config must produce identical reports.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClintReport {
     /// Bulk packets generated / delivered.
     pub bulk_generated: u64,
@@ -99,6 +119,8 @@ pub struct ClintSim {
     /// Transfers that actually carried a packet last slot (their acks
     /// arrive this slot).
     last_flew: Vec<(usize, usize)>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Box<ClintTelemetry>>,
 }
 
 impl ClintSim {
@@ -132,6 +154,8 @@ impl ClintSim {
             bulk_latency_sum: 0.0,
             quick_latency_sum: 0.0,
             last_flew: Vec::new(),
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
             cfg,
         }
     }
@@ -141,6 +165,27 @@ impl ClintSim {
         for _ in 0..self.cfg.slots {
             self.step();
         }
+        self.finalize()
+    }
+
+    /// Like [`run`](ClintSim::run), but records telemetry into a trace
+    /// buffer of `trace_capacity` events (0 = unbounded). The report is
+    /// identical to the untraced one — telemetry is read-only.
+    #[cfg(feature = "telemetry")]
+    pub fn run_traced(mut self, trace_capacity: usize) -> (ClintReport, Box<ClintTelemetry>) {
+        self.telemetry = Some(Box::new(ClintTelemetry {
+            trace: TraceBuffer::new(trace_capacity),
+            metrics: MetricsRegistry::new(),
+            clock: SlotClock::new(),
+        }));
+        for _ in 0..self.cfg.slots {
+            self.step();
+        }
+        let telemetry = self.telemetry.take().unwrap_or_default();
+        (self.finalize(), telemetry)
+    }
+
+    fn finalize(mut self) -> ClintReport {
         if self.report.bulk_delivered > 0 {
             self.report.bulk_mean_latency =
                 self.bulk_latency_sum / self.report.bulk_delivered as f64;
@@ -155,6 +200,16 @@ impl ClintSim {
     fn step(&mut self) {
         let n = self.cfg.n;
         let slot = self.slot;
+        // Counters are derived at the end of the slot by diffing the report
+        // against this snapshot — one instrumentation point instead of one
+        // per increment site, and provably consistent with the report.
+        #[cfg(feature = "telemetry")]
+        let report_before = if let Some(t) = self.telemetry.as_deref_mut() {
+            t.clock.seek(slot);
+            Some(self.report.clone())
+        } else {
+            None
+        };
 
         // Arrivals.
         for i in 0..n {
@@ -204,6 +259,25 @@ impl ClintSim {
             .collect();
 
         let events = self.pipeline.step(&configs);
+
+        // One event per slot tells the 3-stage story: grants issued by this
+        // slot's schedule stage, transfers flying for last slot's schedule,
+        // acks returning for the slot before that.
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let granted = events.grants.iter().filter(|g| g.gnt_val).count();
+            t.trace.push(
+                Event::new(t.clock.slot(), "bulk_pipeline")
+                    .field("schedule_grants", granted)
+                    .field("transfers", events.transfers.len())
+                    .field("acks", events.acks.len()),
+            );
+            t.metrics.histogram_record(
+                "clint.transfers_per_slot",
+                n + 1,
+                events.transfers.len() as u64,
+            );
+        }
 
         // Transfers scheduled last slot complete now: deliver from the send
         // buffers (Fig. 4's SendBuffers). A host whose grant was lost never
@@ -266,6 +340,56 @@ impl ClintSim {
             self.quick_latency_sum += (slot - gen) as f64;
         }
         self.report.quick_collisions += outcome.dropped.len() as u64;
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            for &(src, dst) in &outcome.dropped {
+                t.trace.push(
+                    Event::new(t.clock.slot(), "quick_collision")
+                        .field("src", src)
+                        .field("dst", dst),
+                );
+            }
+        }
+
+        #[cfg(feature = "telemetry")]
+        if let Some(before) = report_before {
+            // lint:allow(no-panic): report_before is Some only while telemetry is
+            let t = self.telemetry.as_deref_mut().expect("telemetry enabled");
+            let r = &self.report;
+            t.metrics.counter_add(
+                "clint.bulk_generated",
+                r.bulk_generated - before.bulk_generated,
+            );
+            t.metrics.counter_add(
+                "clint.bulk_delivered",
+                r.bulk_delivered - before.bulk_delivered,
+            );
+            t.metrics.counter_add(
+                "clint.quick_generated",
+                r.quick_generated - before.quick_generated,
+            );
+            t.metrics.counter_add(
+                "clint.quick_delivered",
+                r.quick_delivered - before.quick_delivered,
+            );
+            t.metrics.counter_add(
+                "clint.quick_collisions",
+                r.quick_collisions - before.quick_collisions,
+            );
+            t.metrics.counter_add(
+                "clint.cfg_crc_errors",
+                r.cfg_crc_errors - before.cfg_crc_errors,
+            );
+            t.metrics.counter_add(
+                "clint.gnt_crc_errors",
+                r.gnt_crc_errors - before.gnt_crc_errors,
+            );
+            t.metrics.counter_add(
+                "clint.wasted_reservations",
+                r.wasted_reservations - before.wasted_reservations,
+            );
+            t.metrics.counter_inc("clint.slots");
+        }
 
         self.slot += 1;
     }
@@ -403,6 +527,56 @@ mod tests {
         let b = ClintSim::new(cfg).run();
         assert_eq!(a.bulk_delivered, b.bulk_delivered);
         assert_eq!(a.quick_collisions, b.quick_collisions);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_run_matches_untraced_and_records_the_story() {
+        let cfg = ClintConfig {
+            n: 8,
+            bulk_load: 0.4,
+            quick_load: 0.6,
+            cfg_error_rate: 0.02,
+            slots: 2_000,
+            ..Default::default()
+        };
+        let plain = ClintSim::new(cfg.clone()).run();
+        let (traced, t) = ClintSim::new(cfg.clone()).run_traced(0);
+        assert_eq!(plain, traced, "tracing changed the Clint report");
+
+        // The counters retell the report.
+        assert_eq!(t.metrics.counter("clint.slots"), cfg.slots);
+        assert_eq!(
+            t.metrics.counter("clint.bulk_delivered"),
+            traced.bulk_delivered
+        );
+        assert_eq!(
+            t.metrics.counter("clint.quick_collisions"),
+            traced.quick_collisions
+        );
+        assert_eq!(
+            t.metrics.counter("clint.cfg_crc_errors"),
+            traced.cfg_crc_errors
+        );
+
+        // The trace tells the per-slot story: one pipeline event per slot,
+        // one collision event per drop.
+        let pipeline_events = t.trace.iter().filter(|e| e.kind == "bulk_pipeline").count();
+        assert_eq!(pipeline_events as u64, cfg.slots);
+        let collisions = t
+            .trace
+            .iter()
+            .filter(|e| e.kind == "quick_collision")
+            .count();
+        assert_eq!(collisions as u64, traced.quick_collisions);
+
+        // And the transfer distribution covers every slot without overflow.
+        let hist = t
+            .metrics
+            .histogram("clint.transfers_per_slot")
+            .expect("histogram");
+        assert_eq!(hist.count(), cfg.slots);
+        assert_eq!(hist.overflow(), 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use crate::arbiter::RoundRobinPointer;
 use crate::bitkern::{self, Backend};
+#[cfg(feature = "telemetry")]
+use crate::lcf::IterationTrace;
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
 use crate::traits::Scheduler;
@@ -47,6 +49,10 @@ pub struct Islip {
     rows: Vec<u64>,
     cols: Vec<u64>,
     grant_mask: Vec<u64>,
+    #[cfg(feature = "telemetry")]
+    tracing: bool,
+    #[cfg(feature = "telemetry")]
+    trace: IterationTrace,
 }
 
 impl Islip {
@@ -67,7 +73,19 @@ impl Islip {
             rows: Vec::with_capacity(n),
             cols: Vec::with_capacity(n),
             grant_mask: vec![0; n],
+            #[cfg(feature = "telemetry")]
+            tracing: false,
+            #[cfg(feature = "telemetry")]
+            trace: IterationTrace::default(),
         }
+    }
+
+    /// Convergence record of the most recent `schedule` call (same shape as
+    /// [`DistributedLcf::last_trace`](crate::lcf::DistributedLcf::last_trace)).
+    /// Only populated while tracing.
+    #[cfg(feature = "telemetry")]
+    pub fn last_trace(&self) -> &IterationTrace {
+        &self.trace
     }
 
     /// Selects the matching-kernel implementation (builder style). Both
@@ -109,7 +127,14 @@ impl Scheduler for Islip {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
-        if self.backend.word_parallel(self.n) {
+        // While tracing, take the scalar reference kernel: it is
+        // bit-identical to the word-parallel kernel by contract, and it is
+        // where step recording lives.
+        #[cfg(feature = "telemetry")]
+        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        #[cfg(not(feature = "telemetry"))]
+        let word_parallel = self.backend.word_parallel(self.n);
+        if word_parallel {
             self.schedule_bitset(requests)
         } else {
             self.schedule_scalar(requests)
@@ -123,6 +148,20 @@ impl Scheduler for Islip {
         for p in &mut self.accept_ptr {
             *p = RoundRobinPointer::new(self.n);
         }
+        #[cfg(feature = "telemetry")]
+        {
+            self.trace = IterationTrace::default();
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        self.trace.drain_into(sink);
     }
 }
 
@@ -131,8 +170,25 @@ impl Islip {
     fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
+        #[cfg(feature = "telemetry")]
+        self.trace.begin_cycle();
 
         for iter in 0..self.iterations {
+            #[cfg(feature = "telemetry")]
+            let mut step = self.tracing.then(crate::telemetry::IterationStep::default);
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for i in 0..n {
+                    if matching.input_matched(i) {
+                        continue;
+                    }
+                    for j in requests.row_ones(i) {
+                        if !matching.output_matched(j) {
+                            step.requests.push((i, j));
+                        }
+                    }
+                }
+            }
             // Grant step.
             for j in 0..n {
                 self.grant_of_target[j] = None;
@@ -141,6 +197,15 @@ impl Islip {
                 }
                 self.grant_of_target[j] =
                     self.grant_ptr[j].select(|i| !matching.input_matched(i) && requests.get(i, j));
+            }
+
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for j in 0..n {
+                    if let Some(i) = self.grant_of_target[j] {
+                        step.grants.push((i, j));
+                    }
+                }
             }
 
             // Accept step.
@@ -153,11 +218,27 @@ impl Islip {
                 if let Some(j) = accepted {
                     matching.connect(i, j);
                     new_matches += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(step) = step.as_mut() {
+                        step.accepts.push((i, j));
+                    }
                     // Pointers slip only on first-iteration accepts; this is
                     // the rule that prevents starvation (McKeown, Sec. III).
                     if iter == 0 {
                         self.grant_ptr[j].advance_past(i);
                         self.accept_ptr[i].advance_past(j);
+                    }
+                }
+            }
+            #[cfg(feature = "telemetry")]
+            {
+                if let Some(step) = step.take() {
+                    self.trace.steps.push(step);
+                }
+                if self.tracing {
+                    self.trace.new_matches.push(new_matches);
+                    if new_matches == 0 {
+                        self.trace.converged_after = Some(iter + 1);
                     }
                 }
             }

@@ -93,6 +93,10 @@ pub struct CentralLcf {
     // row masks and its transpose as column masks.
     rows: Vec<u64>,
     cols: Vec<u64>,
+    #[cfg(feature = "telemetry")]
+    tracing: bool,
+    #[cfg(feature = "telemetry")]
+    decisions: Vec<crate::telemetry::GrantDecision>,
 }
 
 impl CentralLcf {
@@ -124,7 +128,19 @@ impl CentralLcf {
             nrq: vec![0; n],
             rows: Vec::with_capacity(n),
             cols: Vec::with_capacity(n),
+            #[cfg(feature = "telemetry")]
+            tracing: false,
+            #[cfg(feature = "telemetry")]
+            decisions: Vec::new(),
         }
+    }
+
+    /// The grant decisions of the most recent [`schedule`](Scheduler::schedule)
+    /// call, in output-scheduling order. Empty unless tracing was enabled
+    /// via [`Scheduler::set_tracing`].
+    #[cfg(feature = "telemetry")]
+    pub fn last_decisions(&self) -> &[crate::telemetry::GrantDecision] {
+        &self.decisions
     }
 
     /// Selects the matching-kernel implementation (builder style). Both
@@ -179,7 +195,14 @@ impl Scheduler for CentralLcf {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
-        let schedule = if self.backend.word_parallel(self.n) {
+        // While tracing, always take the scalar reference kernel: it is
+        // bit-identical to the word-parallel kernel by contract, and it is
+        // where the per-grant decision recording lives.
+        #[cfg(feature = "telemetry")]
+        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        #[cfg(not(feature = "telemetry"))]
+        let word_parallel = self.backend.word_parallel(self.n);
+        let schedule = if word_parallel {
             self.schedule_bitset(requests)
         } else {
             self.schedule_scalar(requests)
@@ -203,6 +226,23 @@ impl Scheduler for CentralLcf {
 
     fn reset(&mut self) {
         self.pointer = DiagonalPointer::new(self.n);
+        #[cfg(feature = "telemetry")]
+        self.decisions.clear();
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        if !enabled {
+            self.decisions.clear();
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        for decision in self.decisions.drain(..) {
+            sink(decision.to_event());
+        }
     }
 }
 
@@ -219,6 +259,8 @@ impl CentralLcf {
         for req in 0..n {
             self.nrq[req] = self.work.nrq(req);
         }
+        #[cfg(feature = "telemetry")]
+        self.decisions.clear();
 
         // Grant bookkeeping shared by the pre-pass and the main loop.
         let grant = |schedule: &mut Matching,
@@ -242,6 +284,14 @@ impl CentralLcf {
             for res in 0..n {
                 let (di, dj) = self.pointer.diagonal_position(res);
                 if self.work.get(di, dj) && !schedule.output_matched(dj) {
+                    #[cfg(feature = "telemetry")]
+                    if self.tracing {
+                        self.record_decision(
+                            dj,
+                            di,
+                            crate::telemetry::GrantReason::PriorityDiagonal,
+                        );
+                    }
                     grant(&mut schedule, &mut self.work, &mut self.nrq, di, dj);
                 }
             }
@@ -273,6 +323,8 @@ impl CentralLcf {
                 }
                 _ => None,
             };
+            #[cfg(feature = "telemetry")]
+            let fast_path = gnt.is_some();
 
             if gnt.is_none() {
                 // Find the requester with the smallest number of requests;
@@ -289,11 +341,77 @@ impl CentralLcf {
             }
 
             if let Some(gnt) = gnt {
+                #[cfg(feature = "telemetry")]
+                if self.tracing {
+                    let reason = self.classify(resource, gnt, fast_path);
+                    self.record_decision(resource, gnt, reason);
+                }
                 grant(&mut schedule, &mut self.work, &mut self.nrq, gnt, resource);
             }
         }
 
         schedule
+    }
+
+    /// Why `winner` won `resource` — classified against the *current* work
+    /// matrix and NRQ counts, i.e. before the grant is applied.
+    #[cfg(feature = "telemetry")]
+    fn classify(
+        &self,
+        resource: usize,
+        winner: usize,
+        fast_path: bool,
+    ) -> crate::telemetry::GrantReason {
+        use crate::telemetry::GrantReason;
+        if fast_path {
+            return if self.policy == RrPolicy::Column {
+                GrantReason::ColumnChain
+            } else {
+                GrantReason::RrPosition
+            };
+        }
+        let min = self.nrq[winner];
+        let mut rivals = 0usize;
+        let mut tied = false;
+        for req in self.work.col_ones(resource) {
+            if req == winner {
+                continue;
+            }
+            rivals += 1;
+            if self.nrq[req] <= min {
+                tied = true;
+            }
+        }
+        if rivals == 0 {
+            GrantReason::OnlyChoice
+        } else if tied {
+            GrantReason::TieBreak
+        } else {
+            GrantReason::MinCount
+        }
+    }
+
+    /// Records one grant decision with the losing requesters' counts.
+    #[cfg(feature = "telemetry")]
+    fn record_decision(
+        &mut self,
+        resource: usize,
+        winner: usize,
+        reason: crate::telemetry::GrantReason,
+    ) {
+        let losers: Vec<(usize, usize)> = self
+            .work
+            .col_ones(resource)
+            .filter(|&req| req != winner)
+            .map(|req| (req, self.nrq[req]))
+            .collect();
+        self.decisions.push(crate::telemetry::GrantDecision {
+            resource,
+            winner,
+            winner_nrq: self.nrq[winner],
+            reason,
+            losers,
+        });
     }
 
     /// The word-parallel kernel (`n <= 64`): the same Fig. 2 algorithm on

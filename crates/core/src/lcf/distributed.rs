@@ -16,6 +16,14 @@ pub struct IterationTrace {
     /// The 1-based iteration after which no further matches were possible
     /// (the algorithm had converged), if it converged within the budget.
     pub converged_after: Option<usize>,
+    /// The round-robin pre-grant of this cycle, if the scheduler made one
+    /// (only populated while tracing).
+    #[cfg(feature = "telemetry")]
+    pub pre_grant: Option<(usize, usize)>,
+    /// Full request/grant/accept sets per iteration (only populated while
+    /// tracing — see [`Scheduler::set_tracing`]).
+    #[cfg(feature = "telemetry")]
+    pub steps: Vec<crate::telemetry::IterationStep>,
 }
 
 impl IterationTrace {
@@ -23,6 +31,33 @@ impl IterationTrace {
     /// pre-grant).
     pub fn total_matches(&self) -> usize {
         self.new_matches.iter().sum()
+    }
+
+    /// Resets the trace for a new scheduling cycle.
+    pub(crate) fn begin_cycle(&mut self) {
+        self.new_matches.clear();
+        self.converged_after = None;
+        #[cfg(feature = "telemetry")]
+        {
+            self.pre_grant = None;
+            self.steps.clear();
+        }
+    }
+
+    /// Emits the trace as events (a `pre_grant` event, then one `iteration`
+    /// event per recorded step), stamped with slot 0.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn drain_into(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        if let Some((i, j)) = self.pre_grant.take() {
+            sink(
+                lcf_telemetry::Event::new(0, "pre_grant")
+                    .field("input", i)
+                    .field("output", j),
+            );
+        }
+        for (iter, step) in self.steps.drain(..).enumerate() {
+            sink(step.to_event(iter));
+        }
     }
 }
 
@@ -67,6 +102,8 @@ pub struct DistributedLcf {
     ngt: Vec<usize>,
     grant_of_target: Vec<Option<usize>>,
     trace: IterationTrace,
+    #[cfg(feature = "telemetry")]
+    tracing: bool,
 }
 
 impl DistributedLcf {
@@ -96,6 +133,8 @@ impl DistributedLcf {
             ngt: vec![0; n],
             grant_of_target: vec![None; n],
             trace: IterationTrace::default(),
+            #[cfg(feature = "telemetry")]
+            tracing: false,
         }
     }
 
@@ -138,16 +177,21 @@ impl Scheduler for DistributedLcf {
         let n = self.n;
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
         let mut matching = Matching::new(n);
-        self.trace.new_matches.clear();
-        self.trace.converged_after = None;
+        self.trace.begin_cycle();
 
         // Round-robin position: one matrix element per cycle is scheduled
         // before regular LCF iterations take place (Sec. 5).
         if self.round_robin && requests.get(i_off, j_off) {
             matching.connect(i_off, j_off);
+            #[cfg(feature = "telemetry")]
+            if self.tracing {
+                self.trace.pre_grant = Some((i_off, j_off));
+            }
         }
 
         for iter in 0..self.iterations {
+            #[cfg(feature = "telemetry")]
+            let mut step = self.tracing.then(crate::telemetry::IterationStep::default);
             // --- Request step -------------------------------------------
             // NRQ counts only requests an unmatched initiator can still act
             // on, i.e. those aimed at unmatched targets (matched targets
@@ -161,6 +205,20 @@ impl Scheduler for DistributedLcf {
                         .filter(|&j| !matching.output_matched(j))
                         .count()
                 };
+            }
+
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for i in 0..n {
+                    if matching.input_matched(i) {
+                        continue;
+                    }
+                    for j in requests.row_ones(i) {
+                        if !matching.output_matched(j) {
+                            step.requests.push((i, j));
+                        }
+                    }
+                }
             }
 
             // --- Grant step ----------------------------------------------
@@ -184,6 +242,15 @@ impl Scheduler for DistributedLcf {
                 });
             }
 
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for j in 0..n {
+                    if let Some(i) = self.grant_of_target[j] {
+                        step.grants.push((i, j));
+                    }
+                }
+            }
+
             // --- Accept step ----------------------------------------------
             let mut new_matches = 0;
             for i in 0..n {
@@ -198,9 +265,17 @@ impl Scheduler for DistributedLcf {
                 if let Some(j) = accepted {
                     matching.connect(i, j);
                     new_matches += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(step) = step.as_mut() {
+                        step.accepts.push((i, j));
+                    }
                 }
             }
 
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.take() {
+                self.trace.steps.push(step);
+            }
             self.trace.new_matches.push(new_matches);
             if new_matches == 0 {
                 self.trace.converged_after = Some(iter + 1);
@@ -220,6 +295,16 @@ impl Scheduler for DistributedLcf {
         self.grant_tb = (0..self.n).collect();
         self.accept_tb = (0..self.n).collect();
         self.trace = IterationTrace::default();
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        self.trace.drain_into(sink);
     }
 }
 

@@ -56,6 +56,8 @@ pub mod multicast;
 pub mod pim;
 pub mod registry;
 pub mod request;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod traits;
 pub mod wavefront;
 pub mod weighted;

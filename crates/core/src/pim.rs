@@ -32,6 +32,8 @@ pub struct Pim {
     grant_of_target: Vec<Option<usize>>,
     candidates: Vec<usize>,
     trace: IterationTrace,
+    #[cfg(feature = "telemetry")]
+    tracing: bool,
     // Word-parallel scratch (bitset backend, n <= 64).
     rows: Vec<u64>,
     cols: Vec<u64>,
@@ -52,6 +54,8 @@ impl Pim {
             grant_of_target: vec![None; n],
             candidates: Vec::with_capacity(n),
             trace: IterationTrace::default(),
+            #[cfg(feature = "telemetry")]
+            tracing: false,
             rows: Vec::with_capacity(n),
             cols: Vec::with_capacity(n),
             grant_mask: vec![0; n],
@@ -94,7 +98,14 @@ impl Scheduler for Pim {
 
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
-        if self.backend.word_parallel(self.n) {
+        // While tracing, take the scalar reference kernel: both kernels
+        // consume the RNG identically and produce bit-identical matchings,
+        // and the scalar kernel is where step recording lives.
+        #[cfg(feature = "telemetry")]
+        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        #[cfg(not(feature = "telemetry"))]
+        let word_parallel = self.backend.word_parallel(self.n);
+        if word_parallel {
             self.schedule_bitset(requests)
         } else {
             self.schedule_scalar(requests)
@@ -104,6 +115,16 @@ impl Scheduler for Pim {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
+
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        self.trace.drain_into(sink);
+    }
 }
 
 impl Pim {
@@ -111,10 +132,24 @@ impl Pim {
     fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
-        self.trace.new_matches.clear();
-        self.trace.converged_after = None;
+        self.trace.begin_cycle();
 
         for iter in 0..self.iterations {
+            #[cfg(feature = "telemetry")]
+            let mut step = self.tracing.then(crate::telemetry::IterationStep::default);
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for i in 0..n {
+                    if matching.input_matched(i) {
+                        continue;
+                    }
+                    for j in requests.row_ones(i) {
+                        if !matching.output_matched(j) {
+                            step.requests.push((i, j));
+                        }
+                    }
+                }
+            }
             // Grant: each unmatched output picks uniformly among the
             // unmatched inputs requesting it.
             for j in 0..n {
@@ -131,6 +166,15 @@ impl Pim {
                 }
             }
 
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.as_mut() {
+                for j in 0..n {
+                    if let Some(i) = self.grant_of_target[j] {
+                        step.grants.push((i, j));
+                    }
+                }
+            }
+
             // Accept: each input holding grants picks uniformly among them.
             let mut new_matches = 0;
             for i in 0..n {
@@ -142,9 +186,18 @@ impl Pim {
                     .extend((0..n).filter(|&j| self.grant_of_target[j] == Some(i)));
                 if !self.candidates.is_empty() {
                     let pick = self.rng.gen_range(0..self.candidates.len());
-                    matching.connect(i, self.candidates[pick]);
+                    let j = self.candidates[pick];
+                    matching.connect(i, j);
                     new_matches += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(step) = step.as_mut() {
+                        step.accepts.push((i, j));
+                    }
                 }
+            }
+            #[cfg(feature = "telemetry")]
+            if let Some(step) = step.take() {
+                self.trace.steps.push(step);
             }
             self.trace.new_matches.push(new_matches);
             if new_matches == 0 {
@@ -165,8 +218,7 @@ impl Pim {
     fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
         let n = self.n;
         let mut matching = Matching::new(n);
-        self.trace.new_matches.clear();
-        self.trace.converged_after = None;
+        self.trace.begin_cycle();
         bitkern::load_rows(requests.bits(), &mut self.rows);
         bitkern::col_masks(&self.rows, &mut self.cols);
         let mut unmatched_in = bitkern::mask_n(n);

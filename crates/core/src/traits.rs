@@ -26,6 +26,23 @@ pub trait Scheduler {
 
     /// Resets all internal state (pointers, RNG is *not* reseeded).
     fn reset(&mut self) {}
+
+    /// Enables or disables per-decision tracing. While tracing, a scheduler
+    /// records *why* each grant happened; the records are collected with
+    /// [`drain_events`](Scheduler::drain_events). Default: ignored —
+    /// schedulers without instrumentation trace nothing.
+    ///
+    /// Tracing never changes the schedule: instrumented schedulers route to
+    /// their scalar reference kernel while tracing, which is bit-identical
+    /// to the word-parallel kernel by contract.
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains the decision events recorded since the last drain into
+    /// `sink`. Events are stamped with slot 0 — the simulation loop
+    /// re-stamps them with the current slot. Default: no events.
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, _sink: &mut dyn FnMut(lcf_telemetry::Event)) {}
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -43,6 +60,16 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn set_tracing(&mut self, enabled: bool) {
+        (**self).set_tracing(enabled)
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        (**self).drain_events(sink)
     }
 }
 

@@ -6,8 +6,8 @@
 //!
 //! | rule | meaning | scope |
 //! |---|---|---|
-//! | `hash-collections` | no `HashMap`/`HashSet` (iteration order is unspecified; simulation results must be bit-identical) | core, sim, fabric, clint |
-//! | `wall-clock` | no `SystemTime`/`Instant` (simulated time is slot-based; wall clocks break reproducibility) | core, sim, fabric, clint |
+//! | `hash-collections` | no `HashMap`/`HashSet` (iteration order is unspecified; simulation results must be bit-identical) | core, sim, fabric, clint, telemetry |
+//! | `wall-clock` | no `SystemTime`/`Instant` (simulated time is slot-based; wall clocks break reproducibility) | core, sim, fabric, clint, telemetry |
 //! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim |
 //! | `truncating-cast` | no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` casts (port indices are `usize`; narrowing must be `try_from`) | core, sim, fabric |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs`) | whole workspace |

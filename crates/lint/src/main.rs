@@ -152,9 +152,9 @@ fn self_test() -> i32 {
 /// * `forbid-unsafe` — every crate root (`src/lib.rs` / `src/main.rs`)
 ///   across `crates/`, `compat/` and the root package.
 /// * `hash-collections`, `wall-clock` — deterministic simulation code:
-///   core, sim, fabric, clint. (The compat shims are exempt: `criterion`
-///   legitimately measures wall-clock time.)
-/// * `no-panic` — library code of core and sim.
+///   core, sim, fabric, clint, telemetry. (The compat shims are exempt:
+///   `criterion` legitimately measures wall-clock time.)
+/// * `no-panic` — library code of core, sim and telemetry.
 /// * `truncating-cast` — core, sim and fabric, where narrow casts could
 ///   silently truncate port indices. (clint packs protocol fields into
 ///   fixed-width wire formats and is exempt.)
@@ -166,10 +166,13 @@ fn scope_for(label: &str) -> RuleSet {
         "crates/sim/",
         "crates/fabric/",
         "crates/clint/",
+        "crates/telemetry/",
     ]
     .iter()
     .any(|p| l.starts_with(p));
-    let no_panic_scope = l.starts_with("crates/core/") || l.starts_with("crates/sim/");
+    let no_panic_scope = l.starts_with("crates/core/")
+        || l.starts_with("crates/sim/")
+        || l.starts_with("crates/telemetry/");
     let cast_scope = l.starts_with("crates/core/")
         || l.starts_with("crates/sim/")
         || l.starts_with("crates/fabric/");

@@ -17,7 +17,11 @@ use rand::SeedableRng;
 pub type SimRng = lcf_rng::ChaCha8Rng;
 
 /// Results of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is part of the telemetry contract: the equivalence test
+/// compares a traced and an untraced run of the same config field for
+/// field, so observability provably never changes a result.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Fig. 12 legend name of the model simulated.
     pub model: String,
@@ -168,7 +172,12 @@ pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
         model.step(slot, traffic.as_mut(), &mut rng, &mut stats);
     }
 
-    let report = SimReport {
+    let report = make_report(cfg, &stats, backend);
+    (report, stats)
+}
+
+fn make_report(cfg: &SimConfig, stats: &SimStats, backend: String) -> SimReport {
+    SimReport {
         model: cfg.model.name().to_string(),
         load: cfg.load,
         n: cfg.n,
@@ -184,8 +193,54 @@ pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
         jain_index: stats.service().jain_index(),
         seed: cfg.seed,
         backend,
+    }
+}
+
+/// Like [`run_sim`], but collects telemetry over the **measurement window**:
+/// scheduler decision events and slot-loop metrics go into a
+/// [`SwitchTelemetry`] capped at `trace_capacity` events (0 = unbounded).
+///
+/// Tracing is enabled only after warm-up, so the trace describes exactly
+/// the slots the report's statistics do. The report itself is identical to
+/// the untraced one — telemetry is read-only by contract (see
+/// `tests/telemetry_equiv.rs`).
+///
+/// The output-buffered model has no scheduler to trace; it returns its
+/// report with an empty telemetry object.
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`].
+#[cfg(feature = "telemetry")]
+pub fn run_sim_traced(
+    cfg: &SimConfig,
+    trace_capacity: usize,
+) -> (SimReport, Box<crate::switch::SwitchTelemetry>) {
+    // lint:allow(no-panic): documented precondition (# Panics above)
+    cfg.validate().expect("invalid simulation config");
+    let (mut model, backend) = build_model(cfg);
+    let mut traffic = build_traffic(cfg);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+    let mut warm_stats = SimStats::new(cfg.n, 0, cfg.max_latency_bucket);
+    for slot in 0..cfg.warmup_slots {
+        model.step(slot, traffic.as_mut(), &mut rng, &mut warm_stats);
+    }
+
+    if let Model::Iq(sw) = &mut model {
+        sw.enable_telemetry(trace_capacity);
+    }
+    let start = cfg.warmup_slots;
+    let end = start + cfg.measure_slots;
+    let mut stats = SimStats::new(cfg.n, start, cfg.max_latency_bucket);
+    for slot in start..end {
+        model.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+    }
+
+    let telemetry = match &mut model {
+        Model::Iq(sw) => sw.take_telemetry().unwrap_or_default(),
+        Model::Ob(_) => Box::default(),
     };
-    (report, stats)
+    (make_report(cfg, &stats, backend), telemetry)
 }
 
 /// A simulation in a [`try_sweep`] batch that panicked instead of producing
@@ -224,33 +279,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// remaining simulations still run to completion, and the failure comes back
 /// as `Err(SweepError)` in that slot.
 pub fn try_sweep(configs: &[SimConfig]) -> Vec<Result<SimReport, SweepError>> {
+    parallel_indexed(configs.len(), |idx| run_sim(&configs[idx]))
+}
+
+/// Runs `f(0..count)` across a scoped thread pool, containing panics per
+/// index; results come back in index order.
+fn parallel_indexed<T, F>(count: usize, f: F) -> Vec<Result<T, SweepError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(configs.len().max(1));
+        .min(count.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<Result<SimReport, SweepError>>>> = configs
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
+    let results: Vec<std::sync::Mutex<Option<Result<T, SweepError>>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= configs.len() {
+                if idx >= count {
                     break;
                 }
-                // AssertUnwindSafe: the closure only touches `configs[idx]`
-                // (shared, immutable) and builds all mutable state fresh
-                // inside `run_sim`, so no broken invariant can leak out.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_sim(&configs[idx])
-                }))
-                .map_err(|payload| SweepError {
-                    index: idx,
-                    message: panic_message(payload),
-                });
+                // AssertUnwindSafe: the closure only reads shared immutable
+                // state and builds all mutable state fresh per run, so no
+                // broken invariant can leak out.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx)))
+                    .map_err(|payload| SweepError {
+                        index: idx,
+                        message: panic_message(payload),
+                    });
                 // A poisoned slot only means a sibling worker panicked while
                 // holding this uncontended lock — the data is still ours.
                 *results[idx]
@@ -274,6 +335,49 @@ pub fn try_sweep(configs: &[SimConfig]) -> Vec<Result<SimReport, SweepError>> {
                 })
         })
         .collect()
+}
+
+/// Like [`try_sweep`], but every configuration runs traced: each slot keeps
+/// its report **and** its [`SwitchTelemetry`](crate::switch::SwitchTelemetry),
+/// and the batch comes back with one merged
+/// [`MetricsRegistry`](lcf_telemetry::MetricsRegistry): slot-loop counters
+/// summed, same-shape histograms merged, and per-config progress recorded
+/// under `sweep.*` keys (`sweep.configs_ok`, `sweep.configs_failed`,
+/// `sweep.config.<i>.{load,throughput,mean_latency}`).
+///
+/// Same-name histograms from configs with *different* port counts cannot be
+/// merged (their value ranges differ); those keep the first run's shape and
+/// the conflict count is surfaced as `sweep.histogram_range_mismatches`.
+#[cfg(feature = "telemetry")]
+#[allow(clippy::type_complexity)]
+pub fn try_sweep_traced(
+    configs: &[SimConfig],
+    trace_capacity: usize,
+) -> (
+    Vec<Result<(SimReport, Box<crate::switch::SwitchTelemetry>), SweepError>>,
+    lcf_telemetry::MetricsRegistry,
+) {
+    let outcomes = parallel_indexed(configs.len(), |idx| {
+        run_sim_traced(&configs[idx], trace_capacity)
+    });
+    let mut merged = lcf_telemetry::MetricsRegistry::new();
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok((report, telemetry)) => {
+                merged.counter_inc("sweep.configs_ok");
+                merged.gauge_set(format!("sweep.config.{idx}.load"), report.load);
+                merged.gauge_set(format!("sweep.config.{idx}.throughput"), report.throughput);
+                merged.gauge_set(
+                    format!("sweep.config.{idx}.mean_latency"),
+                    report.mean_latency_slots,
+                );
+                let mismatched = merged.merge(&telemetry.metrics);
+                merged.counter_add("sweep.histogram_range_mismatches", mismatched.len() as u64);
+            }
+            Err(_) => merged.counter_inc("sweep.configs_failed"),
+        }
+    }
+    (outcomes, merged)
 }
 
 /// Like [`try_sweep`], but panics *after the whole batch finishes* if any

@@ -1,4 +1,10 @@
 //! Measurement plumbing: latency accumulators, histograms and fairness.
+//!
+//! The latency histogram is the shared [`lcf_telemetry::Histogram`] —
+//! overflow-explicit and mergeable — re-exported here so existing call
+//! sites keep working.
+
+pub use lcf_telemetry::hist::{CdfPoint, Histogram, Quantile, RangeMismatch};
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Clone, Debug, Default)]
@@ -48,87 +54,6 @@ impl Welford {
     /// Sample standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
-    }
-}
-
-/// Integer-valued histogram with saturating overflow bucket, for latency
-/// percentiles.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    overflow: u64,
-    total: u64,
-}
-
-impl Histogram {
-    /// Creates a histogram for values `0..max` (larger values land in the
-    /// overflow bucket).
-    pub fn new(max: usize) -> Self {
-        assert!(max > 0, "histogram needs at least one bucket");
-        Histogram {
-            buckets: vec![0; max],
-            overflow: 0,
-            total: 0,
-        }
-    }
-
-    /// Records a value.
-    pub fn add(&mut self, value: u64) {
-        if (value as usize) < self.buckets.len() {
-            self.buckets[value as usize] += 1;
-        } else {
-            self.overflow += 1;
-        }
-        self.total += 1;
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Number of values that exceeded the bucket range.
-    pub fn overflow(&self) -> u64 {
-        self.overflow
-    }
-
-    /// The empirical CDF as `(value, cumulative fraction)` points, one per
-    /// occupied bucket (plus a final overflow point if any sample exceeded
-    /// the range). Suitable for plotting latency distributions.
-    pub fn cdf(&self) -> Vec<(u64, f64)> {
-        let mut points = Vec::new();
-        if self.total == 0 {
-            return points;
-        }
-        let mut cum = 0u64;
-        for (value, &count) in self.buckets.iter().enumerate() {
-            if count > 0 {
-                cum += count;
-                points.push((value as u64, cum as f64 / self.total as f64));
-            }
-        }
-        if self.overflow > 0 {
-            points.push((self.buckets.len() as u64, 1.0));
-        }
-        points
-    }
-
-    /// Value at quantile `q ∈ [0, 1]`; overflowed samples report the bucket
-    /// range as a lower bound. Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (value, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return value as u64;
-            }
-        }
-        self.buckets.len() as u64
     }
 }
 
@@ -316,14 +241,31 @@ impl SimStats {
         self.latency.count()
     }
 
-    /// Latency quantile (`0.5` = median, `0.99` = p99).
+    /// Latency quantile (`0.5` = median, `0.99` = p99) as a scalar; when
+    /// the quantile falls among overflowed samples this is the bucket range
+    /// — a *lower bound*. Use [`latency_quantile_marked`] to tell the two
+    /// cases apart.
+    ///
+    /// [`latency_quantile_marked`]: SimStats::latency_quantile_marked
     pub fn latency_quantile(&self, q: f64) -> u64 {
+        self.histogram.quantile_lower_bound(q)
+    }
+
+    /// Latency quantile with explicit overflow marking (see
+    /// [`Quantile`]).
+    pub fn latency_quantile_marked(&self, q: f64) -> Quantile {
         self.histogram.quantile(q)
     }
 
-    /// The empirical latency CDF (see [`Histogram::cdf`]).
-    pub fn latency_cdf(&self) -> Vec<(u64, f64)> {
+    /// The empirical latency CDF; the final point carries `overflow: true`
+    /// if any sample exceeded the bucket range (see [`Histogram::cdf`]).
+    pub fn latency_cdf(&self) -> Vec<CdfPoint> {
         self.histogram.cdf()
+    }
+
+    /// The underlying latency histogram (e.g. for merging across runs).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.histogram
     }
 
     /// Per-pair delivery counts.
@@ -368,33 +310,30 @@ mod tests {
         assert_eq!(w.variance(), 0.0);
     }
 
+    // Histogram behavior proper is tested in lcf-telemetry (unit tests and
+    // property tests); here we pin the SimStats-facing contract.
     #[test]
     fn histogram_quantiles() {
         let mut h = Histogram::new(100);
         for v in 1..=100u64 {
             h.add(v - 1); // values 0..=99
         }
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(0.5), 49);
-        assert_eq!(h.quantile(1.0), 99);
+        assert_eq!(h.quantile_lower_bound(0.0), 0);
+        assert_eq!(h.quantile_lower_bound(0.5), 49);
+        assert_eq!(h.quantile_lower_bound(1.0), 99);
         assert_eq!(h.count(), 100);
         assert_eq!(h.overflow(), 0);
     }
 
     #[test]
-    fn histogram_overflow() {
+    fn histogram_overflow_is_marked() {
         let mut h = Histogram::new(4);
         h.add(1);
         h.add(1000);
         assert_eq!(h.overflow(), 1);
-        assert_eq!(h.quantile(1.0), 4, "overflow reports range as lower bound");
-    }
-
-    #[test]
-    fn histogram_empty_quantile() {
-        let h = Histogram::new(4);
-        assert_eq!(h.quantile(0.99), 0);
-        assert!(h.cdf().is_empty());
+        let q = h.quantile(1.0);
+        assert!(q.is_overflow(), "overflowed quantile must say so");
+        assert_eq!(q.value(), 4, "range reported as lower bound");
     }
 
     #[test]
@@ -405,7 +344,27 @@ mod tests {
         h.add(3);
         h.add(99); // overflow
         let cdf = h.cdf();
-        assert_eq!(cdf, vec![(1, 0.5), (3, 0.75), (10, 1.0)]);
+        let shape: Vec<(u64, f64, bool)> = cdf
+            .iter()
+            .map(|p| (p.value, p.fraction, p.overflow))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![(1, 0.5, false), (3, 0.75, false), (10, 1.0, true)],
+            "final point is the overflow marker, not an observed value"
+        );
+    }
+
+    #[test]
+    fn sim_stats_quantile_read_outs_agree() {
+        use crate::packet::Packet;
+        let mut st = SimStats::new(2, 0, 4);
+        st.on_delivered(&Packet::new(0, 1, 0), 2); // delay 2
+        st.on_delivered(&Packet::new(0, 1, 0), 100); // delay 100: overflow
+        assert_eq!(st.latency_quantile(0.5), 2);
+        assert_eq!(st.latency_quantile(1.0), 4, "lower bound for overflow");
+        assert!(st.latency_quantile_marked(1.0).is_overflow());
+        assert_eq!(st.latency_histogram().overflow(), 1);
     }
 
     #[test]

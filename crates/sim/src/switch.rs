@@ -8,7 +8,28 @@ use lcf_core::matching::Matching;
 use lcf_core::request::RequestMatrix;
 use lcf_core::traits::Scheduler;
 use lcf_core::weighted::{WeightMatrix, WeightedScheduler};
+#[cfg(feature = "telemetry")]
+use lcf_telemetry::{Event, MetricsRegistry, SlotClock, TraceBuffer};
 use rand::rngs::StdRng;
+
+/// Telemetry state for the slot loop: a bounded decision trace, a metrics
+/// registry and the slot clock the events are stamped from. Owned by the
+/// switch while enabled; [`IqSwitch::take_telemetry`] hands it back to the
+/// runner for export.
+///
+/// Everything here is derived from the simulation state, never fed back
+/// into it — enabling telemetry cannot change a schedule (the equivalence
+/// test in `tests/telemetry_equiv.rs` holds the simulator to that).
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Default)]
+pub struct SwitchTelemetry {
+    /// Decision/event trace (ring buffer; oldest events evicted when full).
+    pub trace: TraceBuffer,
+    /// Slot-loop counters, gauges and histograms.
+    pub metrics: MetricsRegistry,
+    /// The time base every event is stamped from.
+    pub clock: SlotClock,
+}
 
 /// Input buffering discipline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +110,8 @@ pub struct IqSwitch {
     inputs: InputQueues,
     requests: RequestMatrix,
     last_matching: Matching,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Box<SwitchTelemetry>>,
 }
 
 impl IqSwitch {
@@ -148,7 +171,40 @@ impl IqSwitch {
             inputs,
             requests: RequestMatrix::new(n),
             last_matching: Matching::new(n),
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         }
+    }
+
+    /// Starts recording telemetry: decision traces from the scheduler plus
+    /// slot-loop metrics, into a trace buffer of `trace_capacity` events
+    /// (0 = unbounded). Also turns on the scheduler's own tracing hook.
+    #[cfg(feature = "telemetry")]
+    pub fn enable_telemetry(&mut self, trace_capacity: usize) {
+        if let Engine::Boolean(s) = &mut self.engine {
+            s.set_tracing(true);
+        }
+        self.telemetry = Some(Box::new(SwitchTelemetry {
+            trace: TraceBuffer::new(trace_capacity),
+            metrics: MetricsRegistry::new(),
+            clock: SlotClock::new(),
+        }));
+    }
+
+    /// Stops recording and hands the collected telemetry back (None if
+    /// telemetry was never enabled).
+    #[cfg(feature = "telemetry")]
+    pub fn take_telemetry(&mut self) -> Option<Box<SwitchTelemetry>> {
+        if let Engine::Boolean(s) = &mut self.engine {
+            s.set_tracing(false);
+        }
+        self.telemetry.take()
+    }
+
+    /// The telemetry collected so far, if enabled.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry(&self) -> Option<&SwitchTelemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Number of ports.
@@ -224,13 +280,30 @@ impl IqSwitch {
         stats: &mut SimStats,
     ) -> &Matching {
         let n = self.n;
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.clock.seek(slot);
+        }
 
         // 1. Arrivals into the PQs.
         for input in 0..n {
             if let Some(dst) = traffic.arrival(slot, input, rng) {
                 stats.on_generated();
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.metrics.counter_inc("sim.generated");
+                }
                 if !self.pqs[input].push(Packet::new(input, dst, slot)) {
                     stats.on_drop_pq();
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.metrics.counter_inc("sim.dropped_pq");
+                        t.trace.push(
+                            Event::new(t.clock.slot(), "drop_pq")
+                                .field("input", input)
+                                .field("dst", dst),
+                        );
+                    }
                 }
             }
         }
@@ -293,6 +366,16 @@ impl IqSwitch {
                 }
                 #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
                 debug_assert!(matching.is_valid_for(&self.requests));
+                // Pull the scheduler's decision events into the slot-loop
+                // trace, re-stamped with the simulation slot (schedulers
+                // have no time base of their own).
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    scheduler.drain_events(&mut |mut e| {
+                        e.slot = t.clock.slot();
+                        t.trace.push(e);
+                    });
+                }
                 matching
             }
             Engine::Weighted {
@@ -327,6 +410,32 @@ impl IqSwitch {
             .expect("scheduler granted an empty queue");
             debug_assert_eq!(p.dst_idx(), j, "head packet routed to wrong output");
             stats.on_delivered(&p, slot);
+        }
+
+        // Per-slot occupancy and matching metrics. Histogram ranges cover
+        // every reachable value (n matches per slot, n*n non-empty VOQs) so
+        // the distributions never overflow.
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            let buffered = self.buffered_packets() as f64;
+            let nonempty = match &self.inputs {
+                InputQueues::Voq(v) => {
+                    Some(v.iter().map(|set| set.occupied_count()).sum::<usize>())
+                }
+                InputQueues::Fifo(_) => None,
+            };
+            // lint:allow(no-panic): is_some checked just above
+            let t = self.telemetry.as_deref_mut().expect("checked above");
+            t.metrics
+                .counter_add("sim.delivered", matching.size() as u64);
+            t.metrics.counter_inc("sim.slots");
+            t.metrics
+                .histogram_record("sim.matching_size", n + 1, matching.size() as u64);
+            if let Some(nonempty) = nonempty {
+                t.metrics
+                    .histogram_record("sim.nonempty_voqs", n * n + 1, nonempty as u64);
+            }
+            t.metrics.gauge_set("sim.buffered_packets", buffered);
         }
 
         self.last_matching = matching;

@@ -1,0 +1,128 @@
+//! The telemetry layer is **read-only**: enabling it must never change a
+//! simulation result.
+//!
+//! These tests run the same configuration traced and untraced and compare
+//! the [`SimReport`]s field for field (`SimReport: PartialEq` exists for
+//! exactly this), across scalar and bitset kernel backends and across every
+//! scheduler family that has a tracing hook. Together with the CI feature
+//! matrix (which runs the golden-count tests with the `telemetry` feature
+//! both off and on), this pins the contract from both sides: the feature
+//! compiles to no-ops when disabled, and is inert when enabled but not
+//! exported.
+
+#![cfg(feature = "telemetry")]
+
+use lcf_core::bitkern::Backend;
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig};
+use lcf_sim::runner::{run_sim, run_sim_traced, try_sweep, try_sweep_traced};
+
+fn cfg(kind: SchedulerKind, backend: Backend) -> SimConfig {
+    SimConfig {
+        model: ModelKind::Scheduler(kind),
+        n: 8,
+        load: 0.8,
+        warmup_slots: 500,
+        measure_slots: 3_000,
+        seed: 0xBEEF,
+        backend,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn traced_and_untraced_reports_are_identical() {
+    for kind in [
+        SchedulerKind::LcfCentral,
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::LcfDist,
+        SchedulerKind::Islip,
+        SchedulerKind::Pim,
+        SchedulerKind::Fifo,
+    ] {
+        for backend in [Backend::Scalar, Backend::Bitset] {
+            let c = cfg(kind, backend);
+            let untraced = run_sim(&c);
+            let (traced, telemetry) = run_sim_traced(&c, 0);
+            assert_eq!(
+                untraced, traced,
+                "{kind} on {backend:?}: tracing changed the report"
+            );
+            // And the run was actually observed, not skipped.
+            assert_eq!(telemetry.metrics.counter("sim.slots"), c.measure_slots);
+            assert_eq!(telemetry.metrics.counter("sim.delivered"), traced.delivered);
+            assert_eq!(telemetry.metrics.counter("sim.generated"), traced.generated);
+        }
+    }
+}
+
+#[test]
+fn traced_sweep_matches_untraced_sweep() {
+    let configs: Vec<SimConfig> = [0.3, 0.6, 0.9]
+        .iter()
+        .map(|&load| SimConfig {
+            load,
+            ..cfg(SchedulerKind::LcfCentralRr, Backend::Bitset)
+        })
+        .collect();
+    let plain: Vec<_> = try_sweep(&configs)
+        .into_iter()
+        .map(|r| r.expect("sweep config failed"))
+        .collect();
+    let (traced, metrics) = try_sweep_traced(&configs, 64);
+    let traced: Vec<_> = traced
+        .into_iter()
+        .map(|r| r.expect("traced sweep config failed").0)
+        .collect();
+    assert_eq!(plain, traced, "tracing changed a sweep result");
+
+    // The merged registry tells the batch's story: per-config progress
+    // gauges plus counters summed across all three runs.
+    assert_eq!(metrics.counter("sweep.configs_ok"), 3);
+    assert_eq!(metrics.counter("sweep.configs_failed"), 0);
+    let total_delivered: u64 = traced.iter().map(|r| r.delivered).sum();
+    assert_eq!(metrics.counter("sim.delivered"), total_delivered);
+    for (idx, report) in traced.iter().enumerate() {
+        assert_eq!(
+            metrics.gauge(&format!("sweep.config.{idx}.throughput")),
+            Some(report.throughput)
+        );
+    }
+    // Same n across configs, so the matching-size histograms merged clean.
+    assert_eq!(metrics.counter("sweep.histogram_range_mismatches"), 0);
+    let hist = metrics
+        .histogram("sim.matching_size")
+        .expect("merged histogram");
+    assert_eq!(hist.count() + hist.overflow(), 3 * configs[0].measure_slots);
+}
+
+#[test]
+fn traced_run_is_deterministic() {
+    let c = cfg(SchedulerKind::LcfCentralRr, Backend::Bitset);
+    let (a, ta) = run_sim_traced(&c, 0);
+    let (b, tb) = run_sim_traced(&c, 0);
+    assert_eq!(a, b);
+    assert_eq!(
+        ta.trace.to_jsonl(),
+        tb.trace.to_jsonl(),
+        "traces must be bit-deterministic"
+    );
+    assert_eq!(ta.metrics.to_json(), tb.metrics.to_json());
+}
+
+#[test]
+fn output_buffered_model_reports_empty_telemetry() {
+    let c = SimConfig {
+        model: ModelKind::OutputBuffered,
+        n: 8,
+        load: 0.5,
+        warmup_slots: 100,
+        measure_slots: 500,
+        ..SimConfig::paper_default()
+    };
+    let untraced = run_sim(&c);
+    let (traced, telemetry) = run_sim_traced(&c, 0);
+    assert_eq!(untraced, traced);
+    assert!(telemetry.trace.is_empty());
+    assert!(telemetry.metrics.is_empty());
+}

@@ -1,0 +1,201 @@
+//! A minimal deterministic JSON writer.
+//!
+//! The build environment is dependency-free, so traces and metrics are
+//! serialized by this hand-rolled writer. Determinism rules:
+//!
+//! * object keys are written in the order the caller supplies them (the
+//!   metrics registry supplies them sorted — it stores `BTreeMap`s),
+//! * floats use Rust's shortest round-trip formatting (`{}`), which is
+//!   platform-independent; non-finite floats become `null` (JSON has no
+//!   NaN/Infinity),
+//! * no whitespace is emitted, so byte-for-byte comparison of two exports
+//!   is meaningful.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (`null` if not finite).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object with caller-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serializes the value into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                // Integers formatted via std; no allocation beyond `out`.
+                use std::fmt::Write as _;
+                // lint:allow(no-panic): fmt::Write to String cannot fail
+                write!(out, "{v}").expect("write to String");
+            }
+            Value::I64(v) => {
+                use std::fmt::Write as _;
+                // lint:allow(no-panic): fmt::Write to String cannot fail
+                write!(out, "{v}").expect("write to String");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    use std::fmt::Write as _;
+                    // lint:allow(no-panic): fmt::Write to String cannot fail
+                    write!(out, "{v}").expect("write to String");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (k, (key, value)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value rendered as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Seq(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                // lint:allow(no-panic): fmt::Write to String cannot fail
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::U64(42).to_json(), "42");
+        assert_eq!(Value::I64(-7).to_json(), "-7");
+        assert_eq!(Value::F64(0.5).to_json(), "0.5");
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Value::Str("a\"b\\c\nd".into()).to_json(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(Value::Str("\u{1}".into()).to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Value::Obj(vec![
+            ("kind".into(), "grant".into()),
+            ("ports".into(), Value::Seq(vec![1u64.into(), 2u64.into()])),
+        ]);
+        assert_eq!(v.to_json(), r#"{"kind":"grant","ports":[1,2]}"#);
+    }
+
+    #[test]
+    fn float_format_is_shortest_roundtrip() {
+        assert_eq!(Value::F64(1.0).to_json(), "1");
+        assert_eq!(Value::F64(0.1).to_json(), "0.1");
+        assert_eq!(Value::F64(1.0 / 3.0).to_json(), "0.3333333333333333");
+    }
+}

@@ -1,0 +1,193 @@
+//! The metrics registry: counters, gauges and mergeable histograms.
+//!
+//! Keys are plain strings (instrumentation sites use `&'static str` names;
+//! sweep-style aggregators may derive `sweep.cfg3.delivered`-shaped names
+//! from config indices). Storage is `BTreeMap`, so iteration — and thus the
+//! JSON export — is key-sorted and deterministic regardless of insertion
+//! order (`HashMap` is banned repo-wide for exactly this reason).
+
+use crate::hist::Histogram;
+use crate::json::Value;
+use std::collections::BTreeMap;
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at 0 on first use).
+    pub fn counter_add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn counter_inc(&mut self, name: impl Into<String>) {
+        self.counter_add(name, 1);
+    }
+
+    /// Reads counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Reads gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into the histogram `name`, creating it with bucket
+    /// range `range` on first use (later calls keep the original range).
+    pub fn histogram_record(&mut self, name: impl Into<String>, range: usize, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_insert_with(|| Histogram::new(range))
+            .add(value);
+    }
+
+    /// Reads histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Number of distinct metric names across all three kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take `other`'s value
+    /// (last writer wins), histograms merge sample-exactly. Histogram pairs
+    /// with mismatched ranges are reported in the returned list (their
+    /// samples are *not* silently dropped into a resized histogram — the
+    /// caller decides).
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Vec<String> {
+        for (name, &v) in &other.counters {
+            self.counter_add(name.clone(), v);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        let mut mismatched = Vec::new();
+        for (name, theirs) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                None => {
+                    self.histograms.insert(name.clone(), theirs.clone());
+                }
+                Some(ours) => {
+                    if ours.merge(theirs).is_err() {
+                        mismatched.push(name.clone());
+                    }
+                }
+            }
+        }
+        mismatched
+    }
+
+    /// The registry as a deterministic JSON value:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}` with keys
+    /// sorted inside every section.
+    pub fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::U64(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::F64(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        Value::Obj(vec![
+            ("counters".into(), Value::Obj(counters)),
+            ("gauges".into(), Value::Obj(gauges)),
+            ("histograms".into(), Value::Obj(histograms)),
+        ])
+    }
+
+    /// The registry rendered as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.counter_inc("slots");
+        m.counter_add("slots", 2);
+        m.gauge_set("load", 0.8);
+        m.histogram_record("occupancy", 16, 3);
+        assert_eq!(m.counter("slots"), 3);
+        assert_eq!(m.gauge("load"), Some(0.8));
+        assert_eq!(m.histogram("occupancy").map(|h| h.count()), Some(1));
+        assert_eq!(m.counter("missing"), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn export_is_key_sorted_and_insertion_independent() {
+        let mut a = MetricsRegistry::new();
+        a.counter_inc("zeta");
+        a.counter_inc("alpha");
+        let mut b = MetricsRegistry::new();
+        b.counter_inc("alpha");
+        b.counter_inc("zeta");
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().find("alpha").unwrap() < a.to_json().find("zeta").unwrap());
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("n", 2);
+        a.gauge_set("g", 1.0);
+        a.histogram_record("h", 8, 1);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("n", 3);
+        b.gauge_set("g", 2.0);
+        b.histogram_record("h", 8, 7);
+        b.histogram_record("only-b", 4, 0);
+        assert!(a.merge(&b).is_empty());
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.gauge("g"), Some(2.0));
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(2));
+        assert_eq!(a.histogram("only-b").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn merge_reports_range_mismatch() {
+        let mut a = MetricsRegistry::new();
+        a.histogram_record("h", 8, 1);
+        let mut b = MetricsRegistry::new();
+        b.histogram_record("h", 16, 1);
+        assert_eq!(a.merge(&b), vec!["h".to_string()]);
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(1), "unchanged");
+    }
+}

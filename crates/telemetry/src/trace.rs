@@ -1,0 +1,197 @@
+//! The bounded decision-trace ring buffer.
+//!
+//! Instrumented components push [`Event`]s — a slot stamp, a static kind
+//! string, and a small list of named fields — into a [`TraceBuffer`]. The
+//! buffer is bounded: once full, the *oldest* events are evicted and
+//! counted, so a long run keeps the most recent window instead of growing
+//! without limit. Export is JSON-Lines (one event per line), byte-identical
+//! across runs of the same seed.
+
+use crate::json::Value;
+use std::collections::VecDeque;
+
+/// One traced event.
+///
+/// `kind` is a `&'static str` so that instrumentation sites cannot
+/// accidentally interpolate run-dependent data into the event name — all
+/// run-dependent data goes into `fields`, where it is visible and diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Slot the event occurred in.
+    pub slot: u64,
+    /// Static event name, e.g. `"grant"`, `"drop_pq"`, `"quick_collision"`.
+    pub kind: &'static str,
+    /// Named payload fields, serialized in the order given here.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Builds an event at `slot` with the given `kind` and no fields.
+    pub fn new(slot: u64, kind: &'static str) -> Self {
+        Event {
+            slot,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, name: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((name, value.into()));
+        self
+    }
+
+    /// The event as a JSON object: `{"slot":..,"kind":..,<fields...>}`.
+    pub fn to_value(&self) -> Value {
+        let mut obj = Vec::with_capacity(2 + self.fields.len());
+        obj.push(("slot".to_string(), Value::U64(self.slot)));
+        obj.push(("kind".to_string(), Value::Str(self.kind.to_string())));
+        for (name, value) in &self.fields {
+            obj.push((name.to_string(), value.clone()));
+        }
+        Value::Obj(obj)
+    }
+
+    /// The event rendered as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceBuffer {
+    events: VecDeque<Event>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer keeping at most `capacity` events (0 means unbounded).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: VecDeque::new(),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest one if the buffer is full.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full. A non-zero
+    /// value means the export is a *suffix* of the run, not the whole run.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Removes and returns all events, oldest-first. The eviction count is
+    /// kept (it describes the whole run, not the current window).
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Discards all events and resets the eviction count.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.evicted = 0;
+    }
+
+    /// The buffer as JSON-Lines: one event per line, oldest-first, each
+    /// line terminated by `\n`. Byte-identical across runs of the same
+    /// seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            event.to_value().write(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event::new(7, "grant")
+            .field("output", 2u64)
+            .field("input", 3u64);
+        assert_eq!(
+            e.to_json(),
+            r#"{"slot":7,"kind":"grant","output":2,"input":3}"#
+        );
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = TraceBuffer::new(2);
+        for slot in 0..5u64 {
+            t.push(Event::new(slot, "tick"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        let slots: Vec<u64> = t.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![3, 4], "most recent window survives");
+    }
+
+    #[test]
+    fn unbounded_when_capacity_zero() {
+        let mut t = TraceBuffer::new(0);
+        for slot in 0..100u64 {
+            t.push(Event::new(slot, "tick"));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.evicted(), 0);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut t = TraceBuffer::new(0);
+        t.push(Event::new(0, "a"));
+        t.push(Event::new(1, "b").field("x", 1u64));
+        assert_eq!(
+            t.to_jsonl(),
+            "{\"slot\":0,\"kind\":\"a\"}\n{\"slot\":1,\"kind\":\"b\",\"x\":1}\n"
+        );
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_eviction_count() {
+        let mut t = TraceBuffer::new(1);
+        t.push(Event::new(0, "a"));
+        t.push(Event::new(1, "b"));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.evicted(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the shared histogram: the quantile/CDF/merge
+//! contracts must hold for arbitrary sample streams, including streams
+//! with overflow.
+
+use lcf_telemetry::hist::Quantile;
+use lcf_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..64, 0..200)
+}
+
+fn fill(range: usize, samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new(range);
+    for &v in samples {
+        h.add(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone in q: a higher quantile never reads out a
+    /// smaller value, and an exact read-out never follows an overflow one.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in arb_samples(),
+        range in 1usize..48,
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let h = fill(range, &samples);
+        let (a, b) = (h.quantile(lo), h.quantile(hi));
+        prop_assert!(a.value() <= b.value(), "q={lo} -> {a:?}, q={hi} -> {b:?}");
+        prop_assert!(
+            !a.is_overflow() || b.is_overflow(),
+            "overflow at q={lo} but exact at larger q={hi}"
+        );
+    }
+
+    /// Quantiles are consistent with the CDF: for every CDF point, reading
+    /// the quantile at that point's cumulative fraction lands back on the
+    /// point's value (and overflow flags agree).
+    #[test]
+    fn quantile_matches_cdf(samples in arb_samples(), range in 1usize..48) {
+        let h = fill(range, &samples);
+        for point in h.cdf() {
+            let q = h.quantile(point.fraction);
+            prop_assert_eq!(q.value(), point.value);
+            prop_assert_eq!(q.is_overflow(), point.overflow);
+        }
+    }
+
+    /// The CDF itself is sound: fractions strictly increase, end at 1.0,
+    /// and the overflow flag appears only on the final point.
+    #[test]
+    fn cdf_is_well_formed(samples in arb_samples(), range in 1usize..48) {
+        let h = fill(range, &samples);
+        let cdf = h.cdf();
+        if samples.is_empty() {
+            prop_assert!(cdf.is_empty());
+            return;
+        }
+        let mut prev = 0.0;
+        for (k, point) in cdf.iter().enumerate() {
+            prop_assert!(point.fraction > prev);
+            prop_assert!(point.fraction <= 1.0);
+            prop_assert!(!point.overflow || k == cdf.len() - 1);
+            prev = point.fraction;
+        }
+        prop_assert_eq!(cdf.last().map(|p| p.fraction), Some(1.0));
+        prop_assert_eq!(cdf.last().map(|p| p.overflow), Some(h.overflow() > 0));
+    }
+
+    /// Merging two histograms is exactly concatenating their sample
+    /// streams — bucket by bucket, overflow included.
+    #[test]
+    fn merge_is_concatenation(
+        a in arb_samples(),
+        b in arb_samples(),
+        range in 1usize..48,
+    ) {
+        let mut merged = fill(range, &a);
+        merged.merge(&fill(range, &b)).expect("same range");
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, fill(range, &both));
+    }
+
+    /// Overflow accounting: count() covers every sample, overflow() counts
+    /// exactly the samples at or beyond the range.
+    #[test]
+    fn overflow_accounting(samples in arb_samples(), range in 1usize..48) {
+        let h = fill(range, &samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expect = samples.iter().filter(|&&v| v >= range as u64).count() as u64;
+        prop_assert_eq!(h.overflow(), expect);
+        if expect > 0 {
+            prop_assert_eq!(h.quantile(1.0), Quantile::Overflow { at_least: range as u64 });
+        }
+    }
+}
