@@ -1,8 +1,16 @@
-//! Criterion bench: end-to-end simulator slot rate per switch model.
+//! Criterion bench: end-to-end simulator slot rate.
 //!
-//! Measures how many simulated slots per second the Fig. 11 model sustains
-//! for each scheduler — the cost of regenerating Fig. 12, and a regression
-//! guard for the simulator's hot loop.
+//! Two groups:
+//!
+//! * `sim_slots` — model comparison at the paper's default configuration
+//!   (n = 16, load 0.8), covering the Fig. 12 architectures. This group is
+//!   kept identical to the pinned `.bench-baseline` checkout so criterion
+//!   baseline-vs-current comparisons of `sim_slots` stay apples-to-apples.
+//! * `sim_scaling` — the hot-loop scaling matrix: slots/sec for
+//!   n ∈ {16, 32, 64} × {lcf_central_rr, islip} × loads {0.5, 0.95}. New in
+//!   this tree (no baseline counterpart); the committed throughput record
+//!   that CI guards against is the scheduler-kernel baseline
+//!   `results/BENCH_schedulers.json` (see the `bench_guard` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lcf_core::registry::SchedulerKind;
@@ -16,7 +24,7 @@ use rand::SeedableRng;
 
 const SLOTS_PER_ITER: u64 = 1_000;
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_sim_models(c: &mut Criterion) {
     let cfg = SimConfig::paper_default();
     let n = cfg.n;
     let mut group = c.benchmark_group("sim_slots");
@@ -66,5 +74,40 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+fn bench_sim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling");
+    group.throughput(Throughput::Elements(SLOTS_PER_ITER));
+
+    for kind in [SchedulerKind::LcfCentralRr, SchedulerKind::Islip] {
+        for n in [16usize, 32, 64] {
+            for load in [0.5f64, 0.95] {
+                group.bench_function(
+                    BenchmarkId::new(kind.name(), format!("n{n}/load{load}")),
+                    |b| {
+                        let mut sw = IqSwitch::new(
+                            n,
+                            kind.build(n, 4, 2),
+                            QueueMode::Voq { cap: 256 },
+                            1_000,
+                        );
+                        let mut traffic = Bernoulli::new(n, load, DestPattern::Uniform);
+                        let mut rng = StdRng::seed_from_u64(1);
+                        let mut stats = SimStats::new(n, 0, 4096);
+                        let mut slot = 0u64;
+                        b.iter(|| {
+                            for _ in 0..SLOTS_PER_ITER {
+                                sw.step(slot, &mut traffic, &mut rng, &mut stats);
+                                slot += 1;
+                            }
+                            std::hint::black_box(stats.delivered)
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_models, bench_sim_scaling);
 criterion_main!(benches);
