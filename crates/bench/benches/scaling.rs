@@ -7,6 +7,7 @@
 //! what a maximum-size matcher costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcf_core::matching::Matching;
 use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
 use rand::rngs::StdRng;
@@ -29,12 +30,13 @@ fn bench_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         for kind in kinds {
             let mut sched = kind.build(n, 4, 5);
+            let mut out = Matching::new(n);
             let mut idx = 0usize;
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &pool, |b, pool| {
                 b.iter(|| {
-                    let m = sched.schedule(&pool[idx % pool.len()]);
+                    sched.schedule_into(&pool[idx % pool.len()], &mut out);
                     idx += 1;
-                    std::hint::black_box(m.size())
+                    std::hint::black_box(out.size())
                 })
             });
         }

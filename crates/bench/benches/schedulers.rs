@@ -3,10 +3,13 @@
 //! kernel comparison (scalar vs bitset backend) across port counts.
 //!
 //! Regenerate the committed baseline with
-//! `CRITERION_JSON=results/BENCH_schedulers.json cargo bench --bench schedulers`.
+//! `CRITERION_JSON=$PWD/results/BENCH_schedulers.json cargo bench --bench schedulers`
+//! from the workspace root (absolute path: bench binaries run with the
+//! package dir as cwd).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcf_core::bitkern::Backend;
+use lcf_core::matching::Matching;
 use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
 use rand::rngs::StdRng;
@@ -37,15 +40,18 @@ fn bench_schedulers(c: &mut Criterion) {
                 })
                 .collect();
             let mut sched = kind.build(n, 4, 11);
+            // The hot path is allocation-free: one Matching reused across
+            // every decision, exactly as the simulator's slot loop does it.
+            let mut out = Matching::new(n);
             let mut idx = 0usize;
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), format!("d{density}")),
                 &pool,
                 |b, pool| {
                     b.iter(|| {
-                        let m = sched.schedule(&pool[idx % pool.len()]);
+                        sched.schedule_into(&pool[idx % pool.len()], &mut out);
                         idx += 1;
-                        std::hint::black_box(m.size())
+                        std::hint::black_box(out.size())
                     })
                 },
             );
@@ -74,12 +80,13 @@ fn bench_kernels(c: &mut Criterion) {
                     .map(|_| RequestMatrix::random(n, 0.5, &mut rng))
                     .collect();
                 let mut sched = kind.build_with_backend(n, 4, 11, backend).0;
+                let mut out = Matching::new(n);
                 let mut idx = 0usize;
                 group.bench_with_input(BenchmarkId::new(kind.name(), n), &pool, |b, pool| {
                     b.iter(|| {
-                        let m = sched.schedule(&pool[idx % pool.len()]);
+                        sched.schedule_into(&pool[idx % pool.len()], &mut out);
                         idx += 1;
-                        std::hint::black_box(m.size())
+                        std::hint::black_box(out.size())
                     })
                 });
             }

@@ -236,7 +236,7 @@ pub fn simulate(args: &Args) -> Result<String, String> {
 
 fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
     use lcf_core::weighted::GreedyWeight;
-    use lcf_sim::stats::SimStats;
+    use lcf_sim::model::{drive, DriveOptions};
     use lcf_sim::switch::{IqSwitch, WeightSource};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -271,15 +271,8 @@ fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
         )),
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut warm = SimStats::new(n, 0, cfg.max_latency_bucket);
-    for slot in 0..cfg.warmup_slots {
-        sw.step(slot, traffic.as_mut(), &mut rng, &mut warm);
-    }
-    let start = cfg.warmup_slots;
-    let mut stats = SimStats::new(n, start, cfg.max_latency_bucket);
-    for slot in start..start + cfg.measure_slots {
-        sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
-    }
+    let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket);
+    let stats = drive(&mut sw, traffic.as_mut(), &mut rng, &opts);
     let report = SimReport {
         model: name.to_string(),
         load: cfg.load,

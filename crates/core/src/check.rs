@@ -318,15 +318,20 @@ pub struct CheckedScheduler {
     inner: Box<dyn Scheduler + Send>,
     shadow: Option<Box<dyn Scheduler + Send>>,
     checker: ScheduleChecker,
+    // Reused output buffer for the shadow's matching, so the divergence
+    // check honors the hot-path memory contract too.
+    twin: Matching,
 }
 
 impl CheckedScheduler {
     /// Wraps `inner`, validating every matching with `checker`.
     pub fn new(inner: Box<dyn Scheduler + Send>, checker: ScheduleChecker) -> Self {
+        let twin = Matching::new(inner.num_ports());
         CheckedScheduler {
             inner,
             shadow: None,
             checker,
+            twin,
         }
     }
 
@@ -353,23 +358,22 @@ impl Scheduler for CheckedScheduler {
         self.inner.num_ports()
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
-        let matching = self.inner.schedule(requests);
-        if let Err(v) = self.checker.check(requests, &matching) {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
+        self.inner.schedule_into(requests, out);
+        if let Err(v) = self.checker.check(requests, out) {
             // lint:allow(no-panic): the checker's purpose is to abort on a broken scheduler invariant
             panic!("{}: schedule invariant violated: {v}", self.inner.name());
         }
         if let Some(shadow) = &mut self.shadow {
-            let twin = shadow.schedule(requests);
-            if twin != matching {
+            shadow.schedule_into(requests, &mut self.twin);
+            if self.twin != *out {
                 let v = Violation::BackendDivergence {
                     scheduler: self.inner.name(),
                 };
                 // lint:allow(no-panic): kernel divergence is a correctness bug, not a recoverable state
-                panic!("{v}: primary {matching:?} vs shadow {twin:?}");
+                panic!("{v}: primary {out:?} vs shadow {:?}", self.twin);
             }
         }
-        matching
     }
 
     fn reset(&mut self) {

@@ -49,25 +49,23 @@ impl Scheduler for FifoRr {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
         let n = self.n;
         debug_assert!(
             (0..n).all(|i| requests.nrq(i) <= 1),
             "FIFO scheduler expects at most one head-of-line request per input"
         );
-        let mut matching = Matching::new(n);
+        out.reset(n);
 
         // Each input has at most one request, so outputs can arbitrate
         // independently: no input can be granted twice.
         for j in 0..n {
             if let Some(i) = self.out_ptr[j].select(|i| requests.get(i, j)) {
-                matching.connect(i, j);
+                out.connect(i, j);
                 self.out_ptr[j].advance_past(i);
             }
         }
-
-        matching
     }
 
     fn reset(&mut self) {

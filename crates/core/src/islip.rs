@@ -125,7 +125,7 @@ impl Scheduler for Islip {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
         // While tracing, take the scalar reference kernel: it is
         // bit-identical to the word-parallel kernel by contract, and it is
@@ -135,9 +135,9 @@ impl Scheduler for Islip {
         #[cfg(not(feature = "telemetry"))]
         let word_parallel = self.backend.word_parallel(self.n);
         if word_parallel {
-            self.schedule_bitset(requests)
+            self.schedule_bitset(requests, out);
         } else {
-            self.schedule_scalar(requests)
+            self.schedule_scalar(requests, out);
         }
     }
 
@@ -167,9 +167,10 @@ impl Scheduler for Islip {
 
 impl Islip {
     /// The scalar reference kernel: one rotating scan per port per step.
-    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_scalar(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
         #[cfg(feature = "telemetry")]
         self.trace.begin_cycle();
 
@@ -246,8 +247,6 @@ impl Islip {
                 break;
             }
         }
-
-        matching
     }
 
     /// The word-parallel kernel (`n <= 64`): candidate filtering is one
@@ -255,9 +254,10 @@ impl Islip {
     /// pointer scan is a two-probe [`bitkern::rotating_first`]. Produces
     /// grant-for-grant identical matchings (and identical pointer updates)
     /// to [`Islip::schedule_scalar`].
-    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
         bitkern::load_rows(requests.bits(), &mut self.rows);
         bitkern::col_masks(&self.rows, &mut self.cols);
         let mut unmatched_in = bitkern::mask_n(n);
@@ -301,8 +301,6 @@ impl Islip {
                 break;
             }
         }
-
-        matching
     }
 }
 

@@ -193,7 +193,7 @@ impl Scheduler for CentralLcf {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
         // While tracing, always take the scalar reference kernel: it is
         // bit-identical to the word-parallel kernel by contract, and it is
@@ -202,11 +202,11 @@ impl Scheduler for CentralLcf {
         let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
         #[cfg(not(feature = "telemetry"))]
         let word_parallel = self.backend.word_parallel(self.n);
-        let schedule = if word_parallel {
-            self.schedule_bitset(requests)
+        if word_parallel {
+            self.schedule_bitset(requests, out)
         } else {
-            self.schedule_scalar(requests)
-        };
+            self.schedule_scalar(requests, out)
+        }
         // Self-check the round-robin precedence rule against the pre-advance
         // pointer in checked debug builds.
         #[cfg(all(feature = "check-invariants", debug_assertions))]
@@ -215,13 +215,12 @@ impl Scheduler for CentralLcf {
             self.pointer.i,
             self.pointer.j,
             requests,
-            &schedule,
+            out,
         ) {
             // lint:allow(no-panic): invariant self-check aborts on a broken kernel
             panic!("{}: {v}", self.name());
         }
         self.pointer.advance();
-        schedule
     }
 
     fn reset(&mut self) {
@@ -248,13 +247,14 @@ impl Scheduler for CentralLcf {
 
 impl CentralLcf {
     /// The scalar reference kernel: Fig. 2 transliterated, one index probe
-    /// per matrix cell.
-    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
+    /// per matrix cell. Writes the schedule into the caller's (possibly
+    /// dirty) buffer.
+    fn schedule_scalar(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
 
         // Fig. 2 initialization: S[req] := -1; compute NRQ.
-        let mut schedule = Matching::new(n);
+        out.reset(n);
         self.work.copy_from(requests);
         for req in 0..n {
             self.nrq[req] = self.work.nrq(req);
@@ -283,7 +283,7 @@ impl CentralLcf {
         if self.policy == RrPolicy::PriorityDiagonal {
             for res in 0..n {
                 let (di, dj) = self.pointer.diagonal_position(res);
-                if self.work.get(di, dj) && !schedule.output_matched(dj) {
+                if self.work.get(di, dj) && !out.output_matched(dj) {
                     #[cfg(feature = "telemetry")]
                     if self.tracing {
                         self.record_decision(
@@ -292,7 +292,7 @@ impl CentralLcf {
                             crate::telemetry::GrantReason::PriorityDiagonal,
                         );
                     }
-                    grant(&mut schedule, &mut self.work, &mut self.nrq, di, dj);
+                    grant(out, &mut self.work, &mut self.nrq, di, dj);
                 }
             }
         }
@@ -300,7 +300,7 @@ impl CentralLcf {
         // Allocate resources one after the other.
         for res in 0..n {
             let resource = (res + j_off) % n;
-            if schedule.output_matched(resource) {
+            if out.output_matched(resource) {
                 continue; // taken by the priority diagonal
             }
             let diag_req = (i_off + res) % n;
@@ -346,11 +346,9 @@ impl CentralLcf {
                     let reason = self.classify(resource, gnt, fast_path);
                     self.record_decision(resource, gnt, reason);
                 }
-                grant(&mut schedule, &mut self.work, &mut self.nrq, gnt, resource);
+                grant(out, &mut self.work, &mut self.nrq, gnt, resource);
             }
         }
-
-        schedule
     }
 
     /// Why `winner` won `resource` — classified against the *current* work
@@ -421,11 +419,11 @@ impl CentralLcf {
     /// requesters of a resource in the same rotating order with the same
     /// strict-minimum tie-break, and grants update the masks exactly as the
     /// scalar code updates the work matrix.
-    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
 
-        let mut schedule = Matching::new(n);
+        out.reset(n);
         bitkern::load_rows(requests.bits(), &mut self.rows);
         bitkern::col_masks(&self.rows, &mut self.cols);
         for req in 0..n {
@@ -463,22 +461,15 @@ impl CentralLcf {
         if self.policy == RrPolicy::PriorityDiagonal {
             for res in 0..n {
                 let (di, dj) = self.pointer.diagonal_position(res);
-                if self.rows[di] >> dj & 1 == 1 && !schedule.output_matched(dj) {
-                    grant(
-                        &mut schedule,
-                        &mut self.rows,
-                        &mut self.cols,
-                        &mut self.nrq,
-                        di,
-                        dj,
-                    );
+                if self.rows[di] >> dj & 1 == 1 && !out.output_matched(dj) {
+                    grant(out, &mut self.rows, &mut self.cols, &mut self.nrq, di, dj);
                 }
             }
         }
 
         for res in 0..n {
             let resource = (res + j_off) % n;
-            if schedule.output_matched(resource) {
+            if out.output_matched(resource) {
                 continue;
             }
             let diag_req = (i_off + res) % n;
@@ -497,7 +488,7 @@ impl CentralLcf {
 
             if let Some(gnt) = gnt {
                 grant(
-                    &mut schedule,
+                    out,
                     &mut self.rows,
                     &mut self.cols,
                     &mut self.nrq,
@@ -506,8 +497,6 @@ impl CentralLcf {
                 );
             }
         }
-
-        schedule
     }
 }
 

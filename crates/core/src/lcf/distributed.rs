@@ -172,11 +172,12 @@ impl Scheduler for DistributedLcf {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
         let n = self.n;
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
         self.trace.begin_cycle();
 
         // Round-robin position: one matrix element per cycle is scheduled
@@ -287,7 +288,6 @@ impl Scheduler for DistributedLcf {
         for tb in self.grant_tb.iter_mut().chain(self.accept_tb.iter_mut()) {
             *tb = (*tb + 1) % n;
         }
-        matching
     }
 
     fn reset(&mut self) {

@@ -57,6 +57,28 @@ impl Matching {
         self.input_to_output.len()
     }
 
+    /// Disconnects every pair, keeping the port count and the allocations.
+    /// This is what makes a [`Matching`] reusable as a `schedule_into`
+    /// output buffer: clearing is a pair of `memset`s, not an allocation.
+    pub fn clear(&mut self) {
+        self.input_to_output.fill(None);
+        self.output_to_input.fill(None);
+    }
+
+    /// Clears the matching and resizes it to `n` ports, reusing the
+    /// existing allocations where capacity permits. A dirty buffer of any
+    /// prior size becomes an empty matching over `n` ports.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn reset(&mut self, n: usize) {
+        assert!(n > 0, "Matching requires n > 0");
+        self.input_to_output.clear();
+        self.input_to_output.resize(n, None);
+        self.output_to_input.clear();
+        self.output_to_input.resize(n, None);
+    }
+
     /// Connects input `input` to output `output`.
     ///
     /// # Panics
@@ -241,5 +263,32 @@ mod tests {
         let requests = RequestMatrix::full(4);
         let m = Matching::new(3);
         assert!(!m.is_valid_for(&requests));
+    }
+
+    #[test]
+    fn clear_disconnects_everything_and_keeps_n() {
+        let mut m = Matching::from_pairs(4, [(0, 2), (3, 1)]);
+        m.clear();
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.size(), 0);
+        assert!(!m.input_matched(0) && !m.output_matched(2));
+        assert_eq!(m, Matching::new(4), "cleared buffer equals a fresh one");
+    }
+
+    #[test]
+    fn reset_resizes_a_dirty_buffer() {
+        let mut m = Matching::from_pairs(3, [(0, 1), (2, 2)]);
+        m.reset(5);
+        assert_eq!(m.n(), 5);
+        assert_eq!(m, Matching::new(5));
+        m.connect(4, 0);
+        m.reset(2);
+        assert_eq!(m, Matching::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "Matching requires n > 0")]
+    fn reset_to_zero_panics() {
+        Matching::new(2).reset(0);
     }
 }

@@ -136,15 +136,14 @@ impl Scheduler for MaxSizeMatcher {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         self.run(requests);
-        let mut m = Matching::new(self.n);
+        out.reset(self.n);
         for i in 0..self.n {
             if self.match_input[i] != NIL {
-                m.connect(i, self.match_input[i]);
+                out.connect(i, self.match_input[i]);
             }
         }
-        m
     }
 }
 

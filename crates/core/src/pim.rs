@@ -96,7 +96,7 @@ impl Scheduler for Pim {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
         // While tracing, take the scalar reference kernel: both kernels
         // consume the RNG identically and produce bit-identical matchings,
@@ -106,9 +106,9 @@ impl Scheduler for Pim {
         #[cfg(not(feature = "telemetry"))]
         let word_parallel = self.backend.word_parallel(self.n);
         if word_parallel {
-            self.schedule_bitset(requests)
+            self.schedule_bitset(requests, out);
         } else {
-            self.schedule_scalar(requests)
+            self.schedule_scalar(requests, out);
         }
     }
 
@@ -129,9 +129,10 @@ impl Scheduler for Pim {
 
 impl Pim {
     /// The scalar reference kernel: candidate lists gathered per port.
-    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_scalar(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
         self.trace.begin_cycle();
 
         for iter in 0..self.iterations {
@@ -205,8 +206,6 @@ impl Pim {
                 break;
             }
         }
-
-        matching
     }
 
     /// The word-parallel kernel (`n <= 64`): the uniform pick over a
@@ -215,9 +214,10 @@ impl Pim {
     /// with the same `gen_range` bounds as the scalar kernel, so the RNG
     /// stream is consumed identically and the matchings are bit-identical
     /// to [`Pim::schedule_scalar`].
-    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
         self.trace.begin_cycle();
         bitkern::load_rows(requests.bits(), &mut self.rows);
         bitkern::col_masks(&self.rows, &mut self.cols);
@@ -265,8 +265,6 @@ impl Pim {
                 break;
             }
         }
-
-        matching
     }
 }
 

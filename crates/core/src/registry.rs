@@ -91,7 +91,11 @@ impl Scheduler for FaultProbe {
         self.n
     }
 
-    fn schedule(&mut self, _requests: &crate::request::RequestMatrix) -> crate::matching::Matching {
+    fn schedule_into(
+        &mut self,
+        _requests: &crate::request::RequestMatrix,
+        _out: &mut crate::matching::Matching,
+    ) {
         // lint:allow(no-panic): this probe exists to panic, so fault isolation can be tested
         panic!("panic_probe: deliberate scheduler fault");
     }

@@ -68,15 +68,14 @@ impl Scheduler for Wavefront {
         self.n
     }
 
-    fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
-        let matching = if self.backend.word_parallel(self.n) {
-            self.schedule_bitset(requests)
+        if self.backend.word_parallel(self.n) {
+            self.schedule_bitset(requests, out);
         } else {
-            self.schedule_scalar(requests)
-        };
+            self.schedule_scalar(requests, out);
+        }
         self.offset = (self.offset + 1) % self.n;
-        matching
     }
 
     fn reset(&mut self) {
@@ -86,9 +85,10 @@ impl Scheduler for Wavefront {
 
 impl Wavefront {
     /// The scalar reference kernel: one probe per matrix cell.
-    fn schedule_scalar(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_scalar(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
 
         for wave in 0..n {
             let d = (wave + self.offset) % n;
@@ -101,8 +101,6 @@ impl Wavefront {
                 }
             }
         }
-
-        matching
     }
 
     /// The word-parallel kernel (`n <= 64`): requests are bucketed into
@@ -111,9 +109,10 @@ impl Wavefront {
     /// wrapped diagonal touch distinct rows and columns, so the walk order
     /// within a wave cannot change the outcome; matchings are bit-identical
     /// to [`Wavefront::schedule_scalar`].
-    fn schedule_bitset(&mut self, requests: &RequestMatrix) -> Matching {
+    fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
-        let mut matching = Matching::new(n);
+        out.reset(n);
+        let matching = out;
 
         self.diag.clear();
         self.diag.resize(n, 0);
@@ -142,8 +141,6 @@ impl Wavefront {
                 }
             }
         }
-
-        matching
     }
 }
 

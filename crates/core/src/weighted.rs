@@ -68,6 +68,12 @@ impl WeightMatrix {
 }
 
 /// A scheduler consuming weighted requests.
+///
+/// Mirrors the [`Scheduler`](crate::traits::Scheduler) hot-path memory
+/// contract: [`schedule_weighted_into`](WeightedScheduler::schedule_weighted_into)
+/// is the allocation-free primary method writing into a caller-owned,
+/// possibly dirty buffer; [`schedule_weighted`](WeightedScheduler::schedule_weighted)
+/// is a convenience shim that allocates per call.
 pub trait WeightedScheduler {
     /// Identifier for experiment output.
     fn name(&self) -> &'static str;
@@ -75,9 +81,19 @@ pub trait WeightedScheduler {
     /// Number of ports.
     fn num_ports(&self) -> usize;
 
+    /// Computes a matching for the slot into `out` (resetting it first —
+    /// the buffer may be dirty); only positive-weight pairs may be
+    /// connected. Must not allocate.
+    fn schedule_weighted_into(&mut self, weights: &WeightMatrix, out: &mut Matching);
+
     /// Computes a matching for the slot; only positive-weight pairs may be
-    /// connected.
-    fn schedule_weighted(&mut self, weights: &WeightMatrix) -> Matching;
+    /// connected. Allocates a fresh buffer per call — keep it out of
+    /// per-slot loops.
+    fn schedule_weighted(&mut self, weights: &WeightMatrix) -> Matching {
+        let mut out = Matching::new(self.num_ports());
+        self.schedule_weighted_into(weights, &mut out);
+        out
+    }
 }
 
 /// Central greedy maximum-weight matching: repeatedly grant the heaviest
@@ -132,7 +148,7 @@ impl WeightedScheduler for GreedyWeight {
         self.n
     }
 
-    fn schedule_weighted(&mut self, weights: &WeightMatrix) -> Matching {
+    fn schedule_weighted_into(&mut self, weights: &WeightMatrix, out: &mut Matching) {
         assert_eq!(weights.n(), self.n, "weight matrix size mismatch");
         let n = self.n;
         self.order.clear();
@@ -153,14 +169,13 @@ impl WeightedScheduler for GreedyWeight {
                 .then_with(|| tie_rank(ai, aj).cmp(&tie_rank(bi, bj)))
         });
 
-        let mut matching = Matching::new(n);
+        out.reset(n);
         for &(i, j) in &self.order {
-            if !matching.input_matched(i) && !matching.output_matched(j) {
-                matching.connect(i, j);
+            if !out.input_matched(i) && !out.output_matched(j) {
+                out.connect(i, j);
             }
         }
         self.pointer.advance();
-        matching
     }
 }
 

@@ -1,0 +1,137 @@
+//! Equivalence of the zero-allocation primary API with the legacy shim:
+//! for every registry scheduler, both kernel backends and every CentralLcf
+//! fairness policy, `schedule_into` writing into a **dirty reused buffer**
+//! must produce exactly the matching the allocating `schedule()` shim does,
+//! slot for slot over a stateful 100-slot sequence.
+//!
+//! This is the contract that lets the slot loop reuse one `Matching` for the
+//! whole run (the hot-path memory contract in `Scheduler::schedule_into`
+//! docs): a stale previous-slot matching in the output buffer must never
+//! leak into the next schedule.
+
+use lcf_core::bitkern::Backend;
+use lcf_core::lcf::{CentralLcf, RrPolicy};
+use lcf_core::matching::Matching;
+use lcf_core::registry::SchedulerKind;
+use lcf_core::request::RequestMatrix;
+use lcf_core::traits::Scheduler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLOTS: usize = 100;
+
+const ALL_POLICIES: [RrPolicy; 6] = [
+    RrPolicy::None,
+    RrPolicy::SinglePosition,
+    RrPolicy::Row,
+    RrPolicy::Column,
+    RrPolicy::Diagonal,
+    RrPolicy::PriorityDiagonal,
+];
+
+fn matrix_sequence(n: usize, seed: u64, slots: usize, density: f64) -> Vec<RequestMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..slots)
+        .map(|_| RequestMatrix::random(n, density, &mut rng))
+        .collect()
+}
+
+/// Restricts a matrix to the FIFO scheduler's precondition: at most one
+/// (head-of-line) request per input — the first set bit of each row wins.
+fn fifo_legal(m: &RequestMatrix) -> RequestMatrix {
+    let n = m.n();
+    RequestMatrix::from_fn(n, |i, j| m.get(i, j) && (0..j).all(|k| !m.get(i, k)))
+}
+
+/// Drives two identically-seeded instances of one scheduler through the same
+/// slot sequence: one via the allocating `schedule()` shim, one via
+/// `schedule_into` writing over a deliberately dirty, initially wrong-sized
+/// buffer that is never cleared between slots.
+fn assert_into_matches_legacy(
+    mut legacy: Box<dyn Scheduler + Send>,
+    mut into: Box<dyn Scheduler + Send>,
+    matrices: &[RequestMatrix],
+    label: &str,
+) {
+    // Wrong size (1 port) and pre-connected: `schedule_into` must reset it.
+    let mut out = Matching::new(1);
+    out.connect(0, 0);
+    for (slot, requests) in matrices.iter().enumerate() {
+        let fresh = legacy.schedule(requests);
+        into.schedule_into(requests, &mut out);
+        assert_eq!(
+            fresh, out,
+            "{label}: schedule_into diverged from schedule() at slot {slot}"
+        );
+        // `out` is intentionally left dirty with this slot's matching.
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every registry scheduler, both backends, through the trait-object
+    /// interface the simulator uses.
+    #[test]
+    fn registry_schedule_into_matches_schedule(
+        seed in any::<u64>(),
+        sched_seed in any::<u64>(),
+        density in 0.0f64..=1.0,
+    ) {
+        let n = 16;
+        let matrices = matrix_sequence(n, seed, SLOTS, density);
+        for kind in SchedulerKind::ALL {
+            // FIFO's precondition is one head-of-line request per input.
+            let slot_matrices: Vec<RequestMatrix> = if kind == SchedulerKind::Fifo {
+                matrices.iter().map(fifo_legal).collect()
+            } else {
+                matrices.clone()
+            };
+            for backend in [Backend::Scalar, Backend::Bitset] {
+                assert_into_matches_legacy(
+                    kind.build_with_backend(n, 4, sched_seed, backend).0,
+                    kind.build_with_backend(n, 4, sched_seed, backend).0,
+                    &slot_matrices,
+                    &format!("{} ({backend:?})", kind.name()),
+                );
+            }
+        }
+    }
+
+    /// CentralLcf under every fairness policy (the policies rotate pointers
+    /// differently, so buffer reuse must be policy-independent).
+    #[test]
+    fn central_lcf_policies_schedule_into_matches_schedule(
+        seed in any::<u64>(),
+        density in 0.0f64..=1.0,
+    ) {
+        let n = 16;
+        let matrices = matrix_sequence(n, seed, SLOTS, density);
+        for policy in ALL_POLICIES {
+            for backend in [Backend::Scalar, Backend::Bitset] {
+                assert_into_matches_legacy(
+                    Box::new(CentralLcf::with_policy(n, policy).with_backend(backend)),
+                    Box::new(CentralLcf::with_policy(n, policy).with_backend(backend)),
+                    &matrices,
+                    &format!("lcf_central policy {policy:?} ({backend:?})"),
+                );
+            }
+        }
+    }
+}
+
+/// The `Box<S>` blanket impl must forward `schedule_into` (not fall back to
+/// the default shim) so boxed schedulers stay allocation-free too.
+#[test]
+fn boxed_scheduler_forwards_schedule_into() {
+    let n = 8;
+    let matrices = matrix_sequence(n, 7, 10, 0.5);
+    let mut boxed: Box<CentralLcf> = Box::new(CentralLcf::pure(n));
+    let mut plain = CentralLcf::pure(n);
+    let mut out = Matching::new(1);
+    for requests in &matrices {
+        boxed.schedule_into(requests, &mut out);
+        assert_eq!(plain.schedule(requests), out);
+    }
+}

@@ -361,6 +361,17 @@ impl lcf_core::traits::Scheduler for RtlScheduler {
         self.n
     }
 
+    // The RTL model is a cycle-accurate reference, not a hot-path kernel:
+    // it rebuilds its grant state per call, so `schedule_into` just copies
+    // the result into the caller's buffer.
+    fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
+        let m = RtlScheduler::schedule(self, requests);
+        out.reset(self.n);
+        for (i, j) in m.pairs() {
+            out.connect(i, j);
+        }
+    }
+
     fn schedule(&mut self, requests: &RequestMatrix) -> Matching {
         RtlScheduler::schedule(self, requests)
     }

@@ -19,3 +19,9 @@ pub fn seeded(port: usize, m: &HashMap<usize, usize>) -> u8 {
     let allowed = port as u16;
     (allowed & 0xFF) as u8
 }
+
+/// Trips hot-path-alloc (per-slot allocation in a hot function body).
+pub fn schedule_into(requests: &[bool], out: &mut Vec<usize>) {
+    let scratch = vec![0usize; requests.len()];
+    out.extend(scratch);
+}

@@ -11,6 +11,7 @@
 //! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim |
 //! | `truncating-cast` | no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` casts (port indices are `usize`; narrowing must be `try_from`) | core, sim, fabric |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs`) | whole workspace |
+//! | `hot-path-alloc` | no `Matching::new`, `vec![...]` or `with_capacity` inside per-slot hot functions (`schedule_into`, `schedule_weighted_into`, `step` bodies) — buffers are sized at construction and reused | core, sim |
 //!
 //! The analysis is *lexical*: a hand-rolled Rust tokenizer
 //! ([`tokenize`]) that understands comments (line, nested block, doc),
@@ -49,16 +50,19 @@ pub mod rules {
     pub const TRUNCATING_CAST: &str = "truncating-cast";
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+    /// Heap allocation inside a per-slot hot function.
+    pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
     /// Malformed `lint:allow` tag (unknown rule or empty justification).
     pub const BAD_ALLOW_TAG: &str = "bad-allow-tag";
 
     /// Every content rule a `lint:allow` tag may name.
-    pub const ALL: [&str; 5] = [
+    pub const ALL: [&str; 6] = [
         HASH_COLLECTIONS,
         WALL_CLOCK,
         NO_PANIC,
         TRUNCATING_CAST,
         FORBID_UNSAFE,
+        HOT_PATH_ALLOC,
     ];
 }
 
@@ -77,6 +81,8 @@ pub struct RuleSet {
     pub truncating_cast: bool,
     /// Require `#![forbid(unsafe_code)]` (crate roots only).
     pub forbid_unsafe: bool,
+    /// Enforce the `hot-path-alloc` rule.
+    pub hot_path_alloc: bool,
 }
 
 impl RuleSet {
@@ -88,6 +94,7 @@ impl RuleSet {
             no_panic: true,
             truncating_cast: true,
             forbid_unsafe: true,
+            hot_path_alloc: true,
         }
     }
 
@@ -97,7 +104,8 @@ impl RuleSet {
             || self.wall_clock
             || self.no_panic
             || self.truncating_cast
-            || self.forbid_unsafe)
+            || self.forbid_unsafe
+            || self.hot_path_alloc)
     }
 }
 
@@ -396,6 +404,11 @@ fn allow_tags(comments: &[Comment]) -> Vec<AllowTag> {
 /// Integer types an `as` cast may silently truncate a port index into.
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Function names whose bodies are per-slot hot paths under the
+/// `hot-path-alloc` rule: the primary scheduling methods and the switch
+/// models' slot step.
+const HOT_FNS: [&str; 3] = ["schedule_into", "schedule_weighted_into", "step"];
+
 /// Lints one file's source text under `rules`, labeling findings with
 /// `path_label`. This is the whole analysis — the binary only adds the
 /// filesystem walk and per-path rule scoping.
@@ -408,8 +421,11 @@ pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Findi
     // suppress nothing while looking like it does. Only checked where some
     // content rule applies: files outside every content scope (like this
     // crate's own docs) may mention tags illustratively.
-    let content_rules =
-        rules.hash_collections || rules.wall_clock || rules.no_panic || rules.truncating_cast;
+    let content_rules = rules.hash_collections
+        || rules.wall_clock
+        || rules.no_panic
+        || rules.truncating_cast
+        || rules.hot_path_alloc;
     for t in tags.iter().filter(|_| content_rules) {
         if !rules::ALL.contains(&t.rule.as_str()) || !t.justified {
             findings.push(Finding {
@@ -463,7 +479,15 @@ pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Findi
         }
     }
 
-    // Content rules, with test-gated items skipped.
+    // Content rules, with test-gated items skipped. The `hot-path-alloc`
+    // rule additionally tracks whether the scan is inside the body of a
+    // per-slot hot function (`schedule_into`, `schedule_weighted_into`,
+    // `step`): `pending_hot` is set between the function's name and its
+    // opening brace (canceled by `;`, i.e. a bodiless trait declaration),
+    // and `hot_exit_depth` remembers the brace depth the body closes at.
+    let mut brace_depth = 0usize;
+    let mut pending_hot = false;
+    let mut hot_exit_depth: Option<usize> = None;
     let mut i = 0;
     while i < toks.len() {
         // `#[...]` outer attribute: if it mentions the `test` cfg, skip the
@@ -493,9 +517,61 @@ pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Findi
         }
 
         let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                if pending_hot {
+                    hot_exit_depth = hot_exit_depth.or(Some(brace_depth));
+                    pending_hot = false;
+                }
+                brace_depth += 1;
+            }
+            Tok::Punct('}') => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if hot_exit_depth == Some(brace_depth) {
+                    hot_exit_depth = None;
+                }
+            }
+            Tok::Punct(';') => pending_hot = false,
+            _ => {}
+        }
+        let in_hot = rules.hot_path_alloc && hot_exit_depth.is_some();
         if let Tok::Ident(id) = &toks[i].tok {
             let next = toks.get(i + 1).map(|s| &s.tok);
             match id.as_str() {
+                "fn" if rules.hot_path_alloc => {
+                    if let Some(Tok::Ident(name)) = next {
+                        if HOT_FNS.contains(&name.as_str()) {
+                            pending_hot = true;
+                        }
+                    }
+                }
+                "Matching"
+                    if in_hot
+                        && toks.get(i + 1).map(|s| &s.tok) == Some(&Tok::Punct(':'))
+                        && toks.get(i + 2).map(|s| &s.tok) == Some(&Tok::Punct(':'))
+                        && matches!(toks.get(i + 3).map(|s| &s.tok),
+                            Some(Tok::Ident(m)) if m == "new") =>
+                {
+                    push(
+                        rules::HOT_PATH_ALLOC,
+                        line,
+                        "Matching::new in a hot function".to_string(),
+                    );
+                }
+                "vec" if in_hot && next == Some(&Tok::Punct('!')) => {
+                    push(
+                        rules::HOT_PATH_ALLOC,
+                        line,
+                        "vec! allocation in a hot function".to_string(),
+                    );
+                }
+                "with_capacity" if in_hot => {
+                    push(
+                        rules::HOT_PATH_ALLOC,
+                        line,
+                        "with_capacity allocation in a hot function".to_string(),
+                    );
+                }
                 "HashMap" | "HashSet" if rules.hash_collections => {
                     push(rules::HASH_COLLECTIONS, line, format!("use of {id}"));
                 }
@@ -732,6 +808,73 @@ mod tests {
     fn byte_and_raw_literals_skipped() {
         let src = format!(
             "{PREAMBLE}const A: &[u8] = b\"HashMap\";\nconst B: u8 = b'H';\nconst C: &str = r\"unwrap()\";\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_allocation_in_hot_fns() {
+        let src = format!(
+            "{PREAMBLE}fn schedule_into(&mut self, r: &R, out: &mut Matching) {{\n\
+             let m = Matching::new(8);\n\
+             let v = vec![0; 8];\n\
+             let w = Vec::with_capacity(8);\n\
+             }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(
+            rules_of(&f),
+            [
+                rules::HOT_PATH_ALLOC,
+                rules::HOT_PATH_ALLOC,
+                rules::HOT_PATH_ALLOC
+            ]
+        );
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].excerpt.contains("Matching::new"));
+        assert!(f[1].excerpt.contains("vec!"));
+        assert!(f[2].excerpt.contains("with_capacity"));
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_step_and_weighted_into() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ let v = vec![1]; }}\n\
+             fn schedule_weighted_into(&mut self) {{ let m = Matching::new(4); }}\n"
+        );
+        assert_eq!(
+            rules_of(&lint_all(&src)),
+            [rules::HOT_PATH_ALLOC, rules::HOT_PATH_ALLOC]
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_cold_fns_and_trait_decls() {
+        let src = format!(
+            "{PREAMBLE}trait S {{ fn schedule_into(&mut self, out: &mut Matching); }}\n\
+             fn new(n: usize) -> Vec<usize> {{ Vec::with_capacity(n) }}\n\
+             fn schedule(&mut self) -> Matching {{ Matching::new(8) }}\n\
+             fn after_the_decl() {{ let v = vec![0]; }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_scope_ends_with_the_body() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ if x {{ f(); }} }}\n\
+             fn cold() {{ let v = vec![0]; }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_allow_tag_works() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{\n\
+             // lint:allow(hot-path-alloc): one-time lazy growth, amortized to zero\n\
+             let v = vec![0; 8];\n\
+             }}\n"
         );
         assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
     }

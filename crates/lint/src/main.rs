@@ -158,6 +158,8 @@ fn self_test() -> i32 {
 /// * `truncating-cast` — core, sim and fabric, where narrow casts could
 ///   silently truncate port indices. (clint packs protocol fields into
 ///   fixed-width wire formats and is exempt.)
+/// * `hot-path-alloc` — core and sim, where `schedule_into` /
+///   `schedule_weighted_into` / `step` bodies are the per-slot hot path.
 fn scope_for(label: &str) -> RuleSet {
     let l = label.replace('\\', "/");
     let is_crate_root = l.ends_with("src/lib.rs") || l.ends_with("src/main.rs");
@@ -176,12 +178,14 @@ fn scope_for(label: &str) -> RuleSet {
     let cast_scope = l.starts_with("crates/core/")
         || l.starts_with("crates/sim/")
         || l.starts_with("crates/fabric/");
+    let hot_scope = l.starts_with("crates/core/") || l.starts_with("crates/sim/");
     RuleSet {
         hash_collections: deterministic,
         wall_clock: deterministic,
         no_panic: no_panic_scope,
         truncating_cast: cast_scope,
         forbid_unsafe: is_crate_root,
+        hot_path_alloc: hot_scope,
     }
 }
 

@@ -18,10 +18,14 @@
 use crate::packet::Packet;
 use crate::queues::{BoundedFifo, VoqSet};
 use crate::stats::SimStats;
+#[cfg(feature = "telemetry")]
+use crate::switch::SwitchTelemetry;
 use crate::traffic::Traffic;
 use lcf_core::matching::Matching;
 use lcf_core::request::RequestMatrix;
 use lcf_core::traits::Scheduler;
+#[cfg(feature = "telemetry")]
+use lcf_telemetry::{Event, MetricsRegistry, SlotClock, TraceBuffer};
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
@@ -46,6 +50,14 @@ pub struct CioqSwitch {
     in_flight: Vec<usize>,
     /// Grants that found an empty VOQ or a full output buffer.
     wasted_grants: u64,
+    /// Recycled matching buffers (hot-path memory contract: the slot loop
+    /// reuses these instead of allocating per pass). Sized at construction
+    /// to cover the whole pipeline.
+    free: Vec<Matching>,
+    /// Recycled per-slot batch vectors for the pipeline.
+    free_batches: Vec<Vec<Matching>>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Box<SwitchTelemetry>>,
 }
 
 impl CioqSwitch {
@@ -80,12 +92,28 @@ impl CioqSwitch {
             pipeline: VecDeque::new(),
             in_flight: vec![0; n * n],
             wasted_grants: 0,
+            // The pipeline holds at most `sched_latency + 1` batches of
+            // `speedup` matchings; pre-size the pools so steady state never
+            // allocates.
+            free: (0..(sched_latency + 1) * speedup)
+                .map(|_| Matching::new(n))
+                .collect(),
+            free_batches: (0..sched_latency + 2)
+                .map(|_| Vec::with_capacity(speedup))
+                .collect(),
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         }
     }
 
     /// Number of ports.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Name of the scheduler driving the fabric.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
     }
 
     /// Fabric speedup.
@@ -112,7 +140,8 @@ impl CioqSwitch {
 
     fn compute_matchings(&mut self) -> Vec<Matching> {
         let n = self.n;
-        let mut matchings = Vec::with_capacity(self.speedup);
+        let mut matchings = self.free_batches.pop().unwrap_or_default();
+        matchings.clear();
         // The scheduler sees the VOQ state as of now, minus packets already
         // granted (in the pipeline or by an earlier pass of this slot) —
         // the same information a real pipelined/speedup scheduler has.
@@ -123,13 +152,46 @@ impl CioqSwitch {
                     self.requests.set(i, j, avail);
                 }
             }
-            let m = self.scheduler.schedule(&self.requests);
+            let mut m = self.free.pop().unwrap_or_else(|| Matching::new(n));
+            self.scheduler.schedule_into(&self.requests, &mut m);
             for (i, j) in m.pairs() {
                 self.in_flight[i * n + j] += 1;
             }
             matchings.push(m);
         }
         matchings
+    }
+
+    /// Starts recording telemetry: scheduler decision traces plus slot-loop
+    /// metrics, into a trace buffer of `trace_capacity` events (0 =
+    /// unbounded).
+    #[cfg(feature = "telemetry")]
+    pub fn enable_telemetry(&mut self, trace_capacity: usize) {
+        self.scheduler.set_tracing(true);
+        self.telemetry = Some(Box::new(SwitchTelemetry {
+            trace: TraceBuffer::new(trace_capacity),
+            metrics: MetricsRegistry::new(),
+            clock: SlotClock::new(),
+        }));
+    }
+
+    /// Stops recording and hands back the collected telemetry.
+    #[cfg(feature = "telemetry")]
+    pub fn take_telemetry(&mut self) -> Option<Box<SwitchTelemetry>> {
+        self.scheduler.set_tracing(false);
+        self.telemetry.take()
+    }
+
+    /// The live telemetry state, if enabled.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_mut(&mut self) -> Option<&mut SwitchTelemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Drains the scheduler's queued decision events into `sink`.
+    #[cfg(feature = "telemetry")]
+    pub fn drain_scheduler_events(&mut self, sink: &mut dyn FnMut(Event)) {
+        self.scheduler.drain_events(sink);
     }
 
     /// Advances one slot.
@@ -141,6 +203,10 @@ impl CioqSwitch {
         stats: &mut SimStats,
     ) {
         let n = self.n;
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.clock.seek(slot);
+        }
 
         // Arrivals and PQ -> VOQ spill (identical to the IQ switch).
         for input in 0..n {
@@ -174,7 +240,7 @@ impl CioqSwitch {
             None // pipeline still filling
         };
 
-        if let Some(matchings) = ready {
+        if let Some(mut matchings) = ready {
             for m in &matchings {
                 for (i, j) in m.pairs() {
                     self.in_flight[i * n + j] = self.in_flight[i * n + j].saturating_sub(1);
@@ -194,13 +260,30 @@ impl CioqSwitch {
                     }
                 }
             }
+            // Return the buffers to the pools for the next slot.
+            self.free.append(&mut matchings);
+            self.free_batches.push(matchings);
         }
 
         // Output links: one packet per output per slot.
+        let mut delivered = 0u64;
         for output in 0..n {
             if let Some(p) = self.outputs[output].pop() {
                 stats.on_delivered(&p, slot);
+                delivered += 1;
             }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = delivered;
+
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            let buffered = self.buffered_packets() as f64;
+            // lint:allow(no-panic): is_some checked just above
+            let t = self.telemetry.as_deref_mut().expect("checked above");
+            t.metrics.counter_add("sim.delivered", delivered);
+            t.metrics.counter_inc("sim.slots");
+            t.metrics.gauge_set("sim.buffered_packets", buffered);
         }
     }
 }
@@ -229,11 +312,12 @@ mod tests {
         let n = sw.n();
         let mut traffic = Bernoulli::new(n, load, DestPattern::Uniform);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut stats = SimStats::new(n, 0, 4096);
-        for slot in 0..slots {
-            sw.step(slot, &mut traffic, &mut rng, &mut stats);
-        }
-        stats
+        crate::model::drive(
+            sw,
+            &mut traffic,
+            &mut rng,
+            &crate::model::DriveOptions::new(0, slots, 4096),
+        )
     }
 
     #[test]

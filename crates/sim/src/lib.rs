@@ -5,17 +5,21 @@
 //! output queues (`VOQ`); a [scheduler](lcf_core::traits::Scheduler) connects
 //! inputs to outputs through a non-blocking fabric once per time slot.
 //!
-//! Three switch architectures are modelled:
+//! Three switch architectures are modelled, all behind the
+//! [`model::SwitchModel`] trait:
 //!
-//! * [`switch::IqSwitch`] with VOQs — used by all VOQ schedulers
-//!   (`lcf_central`, `pim`, `islip`, …),
-//! * [`switch::IqSwitch`] with a single FIFO per input — the `fifo`
-//!   baseline exhibiting head-of-line blocking,
+//! * [`switch::IqSwitch`] (alias [`switch::CrossbarSwitch`]) with VOQs —
+//!   used by all VOQ schedulers (`lcf_central`, `pim`, `islip`, …) — or
+//!   with a single FIFO per input — the `fifo` baseline exhibiting
+//!   head-of-line blocking,
+//! * [`cioq::CioqSwitch`] — combined input/output queueing with fabric
+//!   speedup and pipelined scheduling,
 //! * [`outbuf::ObSwitch`] — the output-buffered reference (`outbuf`).
 //!
-//! The [`runner`] module drives warm-up + measurement windows and runs load
-//! sweeps in parallel (one simulation per thread; each simulation is
-//! single-threaded and fully deterministic under its seed).
+//! One warm-up + measurement slot loop, [`model::drive`], runs them all;
+//! the [`runner`] module wraps it with config handling and parallel load
+//! sweeps (one simulation per thread; each simulation is single-threaded
+//! and fully deterministic under its seed).
 //!
 //! ```
 //! use lcf_sim::prelude::*;
@@ -38,6 +42,7 @@
 pub mod analytic;
 pub mod cioq;
 pub mod config;
+pub mod model;
 pub mod outbuf;
 pub mod packet;
 pub mod queues;
@@ -50,11 +55,12 @@ pub mod traffic;
 pub mod prelude {
     pub use crate::cioq::CioqSwitch;
     pub use crate::config::{ModelKind, SimConfig};
+    pub use crate::model::{drive, DriveOptions, SwitchModel};
     pub use crate::outbuf::ObSwitch;
     pub use crate::packet::Packet;
     pub use crate::runner::{run_sim, sweep, SimReport};
     pub use crate::stats::SimStats;
-    pub use crate::switch::{IqSwitch, QueueMode};
+    pub use crate::switch::{CrossbarSwitch, IqSwitch, QueueMode};
     pub use crate::traffic::{DestPattern, Traffic};
     pub use lcf_core::prelude::*;
 }

@@ -1,6 +1,7 @@
 //! Experiment driver: warm-up, measurement and parallel load sweeps.
 
 use crate::config::{ModelKind, SimConfig, TrafficKind};
+use crate::model::{drive, DriveOptions, SwitchModel};
 use crate::outbuf::ObSwitch;
 use crate::stats::SimStats;
 use crate::switch::{IqSwitch, QueueMode};
@@ -74,37 +75,15 @@ impl SimReport {
     }
 }
 
-enum Model {
-    Iq(IqSwitch),
-    Ob(ObSwitch),
-}
-
-impl Model {
-    fn step(
-        &mut self,
-        slot: u64,
-        traffic: &mut dyn Traffic,
-        rng: &mut SimRng,
-        stats: &mut SimStats,
-    ) {
-        match self {
-            Model::Iq(sw) => {
-                sw.step(slot, traffic, rng, stats);
-            }
-            Model::Ob(sw) => sw.step(slot, traffic, rng, stats),
-        }
-    }
-}
-
-/// Builds the model plus the backend description for the report. In checked
-/// debug builds the scheduler is wrapped in a
+/// Builds the [`SwitchModel`] plus the backend description for the report.
+/// In checked debug builds the scheduler is wrapped in a
 /// [`CheckedScheduler`](lcf_core::check::CheckedScheduler) that validates
 /// every matching in the slot loop (and shadows bitset kernels with their
 /// scalar twin); release builds run the bare scheduler.
-fn build_model(cfg: &SimConfig) -> (Model, String) {
+fn build_model(cfg: &SimConfig) -> (Box<dyn SwitchModel>, String) {
     match cfg.model {
         ModelKind::OutputBuffered => (
-            Model::Ob(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
+            Box::new(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
             "n/a (no scheduler)".to_string(),
         ),
         ModelKind::Scheduler(kind) => {
@@ -119,7 +98,7 @@ fn build_model(cfg: &SimConfig) -> (Model, String) {
                 QueueMode::Voq { cap: cfg.voq_cap }
             };
             (
-                Model::Iq(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap)),
+                Box::new(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap)),
                 choice.to_string(),
             )
         }
@@ -156,22 +135,8 @@ pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
     let (mut model, backend) = build_model(cfg);
     let mut traffic = build_traffic(cfg);
     let mut rng = SimRng::seed_from_u64(cfg.seed);
-
-    // Warm-up: run with a throwaway collector so queues reach steady state.
-    let mut warm_stats = SimStats::new(cfg.n, 0, cfg.max_latency_bucket);
-    for slot in 0..cfg.warmup_slots {
-        model.step(slot, traffic.as_mut(), &mut rng, &mut warm_stats);
-    }
-
-    // Measurement window with a fresh collector. Latency samples only come
-    // from packets generated inside the window.
-    let start = cfg.warmup_slots;
-    let end = start + cfg.measure_slots;
-    let mut stats = SimStats::new(cfg.n, start, cfg.max_latency_bucket);
-    for slot in start..end {
-        model.step(slot, traffic.as_mut(), &mut rng, &mut stats);
-    }
-
+    let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket);
+    let stats = drive(model.as_mut(), traffic.as_mut(), &mut rng, &opts);
     let report = make_report(cfg, &stats, backend);
     (report, stats)
 }
@@ -220,26 +185,10 @@ pub fn run_sim_traced(
     let (mut model, backend) = build_model(cfg);
     let mut traffic = build_traffic(cfg);
     let mut rng = SimRng::seed_from_u64(cfg.seed);
-
-    let mut warm_stats = SimStats::new(cfg.n, 0, cfg.max_latency_bucket);
-    for slot in 0..cfg.warmup_slots {
-        model.step(slot, traffic.as_mut(), &mut rng, &mut warm_stats);
-    }
-
-    if let Model::Iq(sw) = &mut model {
-        sw.enable_telemetry(trace_capacity);
-    }
-    let start = cfg.warmup_slots;
-    let end = start + cfg.measure_slots;
-    let mut stats = SimStats::new(cfg.n, start, cfg.max_latency_bucket);
-    for slot in start..end {
-        model.step(slot, traffic.as_mut(), &mut rng, &mut stats);
-    }
-
-    let telemetry = match &mut model {
-        Model::Iq(sw) => sw.take_telemetry().unwrap_or_default(),
-        Model::Ob(_) => Box::default(),
-    };
+    let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket)
+        .traced(trace_capacity);
+    let stats = drive(model.as_mut(), traffic.as_mut(), &mut rng, &opts);
+    let telemetry = model.take_telemetry().unwrap_or_default();
     (make_report(cfg, &stats, backend), telemetry)
 }
 

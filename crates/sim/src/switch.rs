@@ -114,6 +114,11 @@ pub struct IqSwitch {
     telemetry: Option<Box<SwitchTelemetry>>,
 }
 
+/// The crossbar switch model: an alias for [`IqSwitch`] under the name the
+/// [`SwitchModel`](crate::model::SwitchModel) lineup uses (crossbar vs CIOQ
+/// vs output-buffered).
+pub type CrossbarSwitch = IqSwitch;
+
 impl IqSwitch {
     /// Builds a switch. The scheduler's port count must equal `n`.
     pub fn new(
@@ -205,6 +210,23 @@ impl IqSwitch {
     #[cfg(feature = "telemetry")]
     pub fn telemetry(&self) -> Option<&SwitchTelemetry> {
         self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the live telemetry state, if enabled. The shared
+    /// `drive()` loop uses this to re-stamp drained scheduler events with
+    /// the slot clock.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry_mut(&mut self) -> Option<&mut SwitchTelemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Drains the scheduler's decision events (stamped slot 0) into `sink`.
+    /// Weighted engines record no events.
+    #[cfg(feature = "telemetry")]
+    pub fn drain_scheduler_events(&mut self, sink: &mut dyn FnMut(Event)) {
+        if let Engine::Boolean(s) = &mut self.engine {
+            s.drain_events(sink);
+        }
     }
 
     /// Number of ports.
@@ -330,8 +352,9 @@ impl IqSwitch {
         }
 
         // 3. Build the request (or weight) matrix from buffer occupancy,
-        //    then schedule.
-        let matching = match &mut self.engine {
+        //    then schedule into the reused matching buffer (hot-path memory
+        //    contract: no per-slot allocation).
+        match &mut self.engine {
             Engine::Boolean(scheduler) => {
                 match &self.inputs {
                     // Word-parallel ingest: each VOQ set maintains its
@@ -353,30 +376,22 @@ impl IqSwitch {
                         }
                     }
                 }
-                let matching = scheduler.schedule(&self.requests);
+                scheduler.schedule_into(&self.requests, &mut self.last_matching);
                 // Slot-loop invariant check at the Matching seam: every
                 // matching the engine acts on must be conflict-free and
                 // grant ⊆ request.
                 #[cfg(all(feature = "check-invariants", debug_assertions))]
-                if let Err(v) =
-                    lcf_core::check::ScheduleChecker::new().check(&self.requests, &matching)
+                if let Err(v) = lcf_core::check::ScheduleChecker::new()
+                    .check(&self.requests, &self.last_matching)
                 {
                     // lint:allow(no-panic): invariant checker aborts on a broken scheduler
                     panic!("slot loop: {v}");
                 }
                 #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
-                debug_assert!(matching.is_valid_for(&self.requests));
-                // Pull the scheduler's decision events into the slot-loop
-                // trace, re-stamped with the simulation slot (schedulers
-                // have no time base of their own).
-                #[cfg(feature = "telemetry")]
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    scheduler.drain_events(&mut |mut e| {
-                        e.slot = t.clock.slot();
-                        t.trace.push(e);
-                    });
-                }
-                matching
+                debug_assert!(self.last_matching.is_valid_for(&self.requests));
+                // Scheduler decision events stay queued in the scheduler;
+                // the shared `drive()` loop drains and re-stamps them after
+                // this step returns.
             }
             Engine::Weighted {
                 sched,
@@ -398,11 +413,13 @@ impl IqSwitch {
                         weights.set(i, j, w);
                     }
                 }
-                sched.schedule_weighted(weights)
+                sched.schedule_weighted_into(weights, &mut self.last_matching);
             }
-        };
+        }
+        let matching = &self.last_matching;
+        let inputs = &mut self.inputs;
         for (i, j) in matching.pairs() {
-            let p = match &mut self.inputs {
+            let p = match inputs {
                 InputQueues::Voq(v) => v[i].pop_for(j),
                 InputQueues::Fifo(f) => f[i].pop(),
             }
@@ -417,6 +434,7 @@ impl IqSwitch {
         // the distributions never overflow.
         #[cfg(feature = "telemetry")]
         if self.telemetry.is_some() {
+            let matched = self.last_matching.size();
             let buffered = self.buffered_packets() as f64;
             let nonempty = match &self.inputs {
                 InputQueues::Voq(v) => {
@@ -426,11 +444,10 @@ impl IqSwitch {
             };
             // lint:allow(no-panic): is_some checked just above
             let t = self.telemetry.as_deref_mut().expect("checked above");
-            t.metrics
-                .counter_add("sim.delivered", matching.size() as u64);
+            t.metrics.counter_add("sim.delivered", matched as u64);
             t.metrics.counter_inc("sim.slots");
             t.metrics
-                .histogram_record("sim.matching_size", n + 1, matching.size() as u64);
+                .histogram_record("sim.matching_size", n + 1, matched as u64);
             if let Some(nonempty) = nonempty {
                 t.metrics
                     .histogram_record("sim.nonempty_voqs", n * n + 1, nonempty as u64);
@@ -438,7 +455,6 @@ impl IqSwitch {
             t.metrics.gauge_set("sim.buffered_packets", buffered);
         }
 
-        self.last_matching = matching;
         &self.last_matching
     }
 }

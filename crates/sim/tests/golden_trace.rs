@@ -87,3 +87,24 @@ fn golden_trace_is_wellformed_jsonl() {
         assert!(FIXTURE.contains(kind), "fixture never exercises {kind}");
     }
 }
+
+/// Scheduler events are recorded with slot 0 (schedulers have no time base)
+/// and re-stamped by the shared `drive()` loop. If the re-stamping were ever
+/// lost, every event would carry a slot below the warm-up boundary — so pin
+/// that each fixture line lands inside the measurement window.
+#[test]
+fn golden_trace_slots_are_restamped_into_measurement_window() {
+    let cfg = golden_cfg();
+    let window = cfg.warmup_slots..cfg.warmup_slots + cfg.measure_slots;
+    for line in FIXTURE.lines() {
+        let rest = line
+            .strip_prefix("{\"slot\":")
+            .expect("envelope starts with slot");
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let slot: u64 = digits.parse().expect("slot number");
+        assert!(
+            window.contains(&slot),
+            "event stamped outside the measurement window ({window:?}): {line}"
+        );
+    }
+}

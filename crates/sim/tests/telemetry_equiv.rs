@@ -110,6 +110,111 @@ fn traced_run_is_deterministic() {
     assert_eq!(ta.metrics.to_json(), tb.metrics.to_json());
 }
 
+/// The strongest form of the read-only contract: a traced and an untraced
+/// switch, fed the same arrivals, must compute **the same matching every
+/// slot** — not just the same aggregate report. (Tracing switches the
+/// scheduler to its scalar kernel; the kernels are bit-identical by
+/// contract, and this test holds the whole slot loop to it.)
+#[test]
+fn tracing_does_not_change_slot_schedules() {
+    use lcf_sim::stats::SimStats;
+    use lcf_sim::switch::{CrossbarSwitch, QueueMode};
+    use lcf_sim::traffic::{Bernoulli, DestPattern};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 8;
+    let mk = || {
+        let (sched, _) = SchedulerKind::LcfCentralRr.build_with_backend(n, 4, 11, Backend::Bitset);
+        CrossbarSwitch::new(n, sched, QueueMode::Voq { cap: 256 }, 1000)
+    };
+    let mut plain = mk();
+    let mut traced = mk();
+    traced.enable_telemetry(0);
+    let mut t1 = Bernoulli::new(n, 0.85, DestPattern::Uniform);
+    let mut t2 = Bernoulli::new(n, 0.85, DestPattern::Uniform);
+    let mut r1 = StdRng::seed_from_u64(3);
+    let mut r2 = StdRng::seed_from_u64(3);
+    let mut s1 = SimStats::new(n, 0, 4096);
+    let mut s2 = SimStats::new(n, 0, 4096);
+    for slot in 0..2_000 {
+        let a: Vec<_> = plain
+            .step(slot, &mut t1, &mut r1, &mut s1)
+            .pairs()
+            .collect();
+        let b: Vec<_> = traced
+            .step(slot, &mut t2, &mut r2, &mut s2)
+            .pairs()
+            .collect();
+        assert_eq!(a, b, "slot {slot}: tracing changed the schedule");
+    }
+}
+
+/// CIOQ runs under the shared `drive()` loop: tracing must not change the
+/// run, the slot-loop metrics must cover exactly the measurement window, and
+/// every relayed scheduler event must be re-stamped into that window (the
+/// scheduler itself stamps slot 0 — it has no time base).
+#[test]
+fn cioq_traced_run_matches_untraced_and_stamps_slots() {
+    use lcf_sim::cioq::CioqSwitch;
+    use lcf_sim::model::{drive, DriveOptions};
+    use lcf_sim::traffic::{Bernoulli, DestPattern};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 8;
+    let (warmup, measure) = (200u64, 1_000u64);
+    let mk = || {
+        CioqSwitch::new(
+            n,
+            SchedulerKind::LcfCentralRr.build(n, 4, 11),
+            2,
+            2,
+            1000,
+            256,
+            256,
+        )
+    };
+    let run = |sw: &mut CioqSwitch, traced: bool| {
+        let mut traffic = Bernoulli::new(n, 0.8, DestPattern::Uniform);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut opts = DriveOptions::new(warmup, measure, 4096);
+        if traced {
+            opts = opts.traced(0);
+        }
+        drive(sw, &mut traffic, &mut rng, &opts)
+    };
+
+    let mut plain = mk();
+    let mut traced_sw = mk();
+    let a = run(&mut plain, false);
+    let b = run(&mut traced_sw, true);
+    assert_eq!(a.generated, b.generated, "tracing changed CIOQ arrivals");
+    assert_eq!(a.delivered, b.delivered, "tracing changed CIOQ deliveries");
+    assert_eq!(
+        a.mean_latency(),
+        b.mean_latency(),
+        "tracing changed CIOQ latency"
+    );
+
+    let telemetry = traced_sw.take_telemetry().expect("telemetry was enabled");
+    assert_eq!(telemetry.metrics.counter("sim.slots"), measure);
+    assert_eq!(telemetry.metrics.counter("sim.delivered"), b.delivered);
+    assert!(
+        !telemetry.trace.is_empty(),
+        "CIOQ scheduler decisions must be traced"
+    );
+    for line in telemetry.trace.to_jsonl().lines() {
+        let rest = line.strip_prefix("{\"slot\":").expect("envelope");
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let slot: u64 = digits.parse().expect("slot number");
+        assert!(
+            (warmup..warmup + measure).contains(&slot),
+            "event stamped outside the measurement window: {line}"
+        );
+    }
+}
+
 #[test]
 fn output_buffered_model_reports_empty_telemetry() {
     let c = SimConfig {
