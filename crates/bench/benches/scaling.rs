@@ -7,6 +7,7 @@
 //! what a maximum-size matcher costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcf_core::bitkern::Backend;
 use lcf_core::matching::Matching;
 use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
@@ -22,14 +23,22 @@ fn bench_scaling(c: &mut Criterion) {
         SchedulerKind::Wavefront,
         SchedulerKind::MaxSize,
     ];
-    for n in [8usize, 16, 32, 64, 128] {
+    for n in [8usize, 16, 32, 64, 128, 256] {
         let mut rng = StdRng::seed_from_u64(3);
         let pool: Vec<RequestMatrix> = (0..16)
             .map(|_| RequestMatrix::random(n, 0.5, &mut rng))
             .collect();
         group.throughput(Throughput::Elements(n as u64));
         for kind in kinds {
-            let mut sched = kind.build(n, 4, 5);
+            let (mut sched, choice) = kind.build_with_backend(n, 4, 5, Backend::default());
+            // Readers take this group as kernel scaling data, so a silent
+            // scalar fallback would poison the committed numbers.
+            assert!(
+                !choice.is_fallback(),
+                "{} at n = {n} fell back to scalar ({choice}); \
+                 schedule_vs_n must measure the requested kernel",
+                kind.name()
+            );
             let mut out = Matching::new(n);
             let mut idx = 0usize;
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &pool, |b, pool| {

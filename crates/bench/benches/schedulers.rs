@@ -61,8 +61,9 @@ fn bench_schedulers(c: &mut Criterion) {
 }
 
 /// Scalar vs word-parallel kernels for every scheduler that has both, at
-/// n = 8..64. The bitset kernels are the production default; the scalar
-/// reference is what the paper's Fig. 2 pseudocode transliterates to.
+/// n = 8..256 (multi-word masks above 64). The bitset kernels are the
+/// production default; the scalar reference is what the paper's Fig. 2
+/// pseudocode transliterates to.
 fn bench_kernels(c: &mut Criterion) {
     let kinds = [
         SchedulerKind::LcfCentral,
@@ -74,7 +75,7 @@ fn bench_kernels(c: &mut Criterion) {
     for backend in [Backend::Scalar, Backend::Bitset] {
         let mut group = c.benchmark_group(format!("kernel_{backend}"));
         for kind in kinds {
-            for n in [8usize, 16, 32, 64] {
+            for n in [8usize, 16, 32, 64, 128, 256] {
                 let mut rng = StdRng::seed_from_u64(7);
                 let pool: Vec<RequestMatrix> = (0..64)
                     .map(|_| RequestMatrix::random(n, 0.5, &mut rng))

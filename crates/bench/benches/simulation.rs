@@ -7,8 +7,8 @@
 //!   kept identical to the pinned `.bench-baseline` checkout so criterion
 //!   baseline-vs-current comparisons of `sim_slots` stay apples-to-apples.
 //! * `sim_scaling` — the hot-loop scaling matrix: slots/sec for
-//!   n ∈ {16, 32, 64} × {lcf_central_rr, islip} × loads {0.5, 0.95}. New in
-//!   this tree (no baseline counterpart); the committed throughput record
+//!   n ∈ {16, 32, 64, 128} × {lcf_central_rr, islip} × loads {0.5, 0.95}.
+//!   New in this tree (no baseline counterpart); the committed throughput record
 //!   that CI guards against is the scheduler-kernel baseline
 //!   `results/BENCH_schedulers.json` (see the `bench_guard` binary).
 
@@ -79,7 +79,7 @@ fn bench_sim_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(SLOTS_PER_ITER));
 
     for kind in [SchedulerKind::LcfCentralRr, SchedulerKind::Islip] {
-        for n in [16usize, 32, 64] {
+        for n in [16usize, 32, 64, 128] {
             for load in [0.5f64, 0.95] {
                 group.bench_function(
                     BenchmarkId::new(kind.name(), format!("n{n}/load{load}")),

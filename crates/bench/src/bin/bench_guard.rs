@@ -42,6 +42,11 @@ fn main() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bench_guard: cannot read {}: {e}", baseline_path.display());
+            eprintln!(
+                "bench_guard: regenerate the baseline from the workspace root with:\n  \
+                 CRITERION_JSON=$PWD/results/BENCH_schedulers.json \
+                 cargo bench -p lcf-bench --bench schedulers"
+            );
             std::process::exit(2);
         }
     };

@@ -45,10 +45,14 @@ pub struct Islip {
     accept_ptr: Vec<RoundRobinPointer>,
     // Scratch, reused across slots.
     grant_of_target: Vec<Option<usize>>,
-    // Word-parallel scratch (bitset backend, n <= 64).
+    // Word-parallel scratch (bitset backend): flat `n × words_for(n)`
+    // masks plus three single-mask scratch buffers.
     rows: Vec<u64>,
     cols: Vec<u64>,
     grant_mask: Vec<u64>,
+    unmatched_in: Vec<u64>,
+    unmatched_out: Vec<u64>,
+    cand: Vec<u64>,
     #[cfg(feature = "telemetry")]
     tracing: bool,
     #[cfg(feature = "telemetry")]
@@ -63,6 +67,7 @@ impl Islip {
     pub fn new(n: usize, iterations: usize) -> Self {
         assert!(n > 0, "scheduler requires n > 0");
         assert!(iterations > 0, "at least one iteration required");
+        let w = bitkern::words_for(n);
         Islip {
             n,
             iterations,
@@ -70,9 +75,12 @@ impl Islip {
             grant_ptr: vec![RoundRobinPointer::new(n); n],
             accept_ptr: vec![RoundRobinPointer::new(n); n],
             grant_of_target: vec![None; n],
-            rows: Vec::with_capacity(n),
-            cols: Vec::with_capacity(n),
-            grant_mask: vec![0; n],
+            rows: Vec::with_capacity(n * w),
+            cols: Vec::with_capacity(n * w),
+            grant_mask: vec![0; n * w],
+            unmatched_in: vec![0; w],
+            unmatched_out: vec![0; w],
+            cand: vec![0; w],
             #[cfg(feature = "telemetry")]
             tracing: false,
             #[cfg(feature = "telemetry")]
@@ -131,9 +139,9 @@ impl Scheduler for Islip {
         // bit-identical to the word-parallel kernel by contract, and it is
         // where step recording lives.
         #[cfg(feature = "telemetry")]
-        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        let word_parallel = !self.tracing && self.backend.word_parallel();
         #[cfg(not(feature = "telemetry"))]
-        let word_parallel = self.backend.word_parallel(self.n);
+        let word_parallel = self.backend.word_parallel();
         if word_parallel {
             self.schedule_bitset(requests, out);
         } else {
@@ -249,51 +257,67 @@ impl Islip {
         }
     }
 
-    /// The word-parallel kernel (`n <= 64`): candidate filtering is one
-    /// `AND` of a column mask against the unmatched-inputs mask, and each
-    /// pointer scan is a two-probe [`bitkern::rotating_first`]. Produces
-    /// grant-for-grant identical matchings (and identical pointer updates)
-    /// to [`Islip::schedule_scalar`].
+    /// The word-parallel kernel: candidate filtering is a word-wise `AND`
+    /// of a column mask against the unmatched-inputs mask, and each pointer
+    /// scan is a word-walk [`bitkern::rotating_first`] over the
+    /// `words_for(n)`-word mask. Produces grant-for-grant identical
+    /// matchings (and identical pointer updates) to
+    /// [`Islip::schedule_scalar`].
     fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
+        let w = bitkern::words_for(n);
         out.reset(n);
         let matching = out;
         bitkern::load_rows(requests.bits(), &mut self.rows);
-        bitkern::col_masks(&self.rows, &mut self.cols);
-        let mut unmatched_in = bitkern::mask_n(n);
-        let mut unmatched_out = bitkern::mask_n(n);
+        bitkern::col_masks(&self.rows, n, &mut self.cols);
+        bitkern::mask_fill(&mut self.unmatched_in, n);
+        bitkern::mask_fill(&mut self.unmatched_out, n);
 
         for iter in 0..self.iterations {
             // Grant step: each unmatched output offers its grant to the
             // first requesting unmatched input at or after its pointer.
-            self.grant_mask.iter_mut().for_each(|m| *m = 0);
-            let mut outs = unmatched_out;
-            while outs != 0 {
-                let j = outs.trailing_zeros() as usize;
-                outs &= outs - 1;
-                let cand = self.cols[j] & unmatched_in;
-                if let Some(i) = bitkern::rotating_first(cand, n, self.grant_ptr[j].pos()) {
-                    self.grant_mask[i] |= 1u64 << j;
+            // Walking word copies of the unmatched-outputs mask visits the
+            // outputs in the same ascending order as the scalar loop.
+            self.grant_mask.fill(0);
+            for wi in 0..w {
+                let mut outs = self.unmatched_out[wi];
+                while outs != 0 {
+                    let j = wi * bitkern::WORD_BITS + outs.trailing_zeros() as usize;
+                    outs &= outs - 1;
+                    for (k, c) in self.cand.iter_mut().enumerate() {
+                        *c = self.cols[j * w + k] & self.unmatched_in[k];
+                    }
+                    if let Some(i) = bitkern::rotating_first(&self.cand, n, self.grant_ptr[j].pos())
+                    {
+                        bitkern::set_bit(&mut self.grant_mask[i * w..(i + 1) * w], j);
+                    }
                 }
             }
 
             // Accept step: each input holding grants accepts the first at
-            // or after its pointer.
+            // or after its pointer. The per-word snapshot (`ins`) is not
+            // invalidated by clearing bits of `unmatched_in`: an input is
+            // cleared only when it accepts, and each input accepts at most
+            // once per iteration.
             let mut new_matches = 0;
-            let mut ins = unmatched_in;
-            while ins != 0 {
-                let i = ins.trailing_zeros() as usize;
-                ins &= ins - 1;
-                if let Some(j) =
-                    bitkern::rotating_first(self.grant_mask[i], n, self.accept_ptr[i].pos())
-                {
-                    matching.connect(i, j);
-                    unmatched_in &= !(1u64 << i);
-                    unmatched_out &= !(1u64 << j);
-                    new_matches += 1;
-                    if iter == 0 {
-                        self.grant_ptr[j].advance_past(i);
-                        self.accept_ptr[i].advance_past(j);
+            for wi in 0..w {
+                let mut ins = self.unmatched_in[wi];
+                while ins != 0 {
+                    let i = wi * bitkern::WORD_BITS + ins.trailing_zeros() as usize;
+                    ins &= ins - 1;
+                    if let Some(j) = bitkern::rotating_first(
+                        &self.grant_mask[i * w..(i + 1) * w],
+                        n,
+                        self.accept_ptr[i].pos(),
+                    ) {
+                        matching.connect(i, j);
+                        bitkern::clear_bit(&mut self.unmatched_in, i);
+                        bitkern::clear_bit(&mut self.unmatched_out, j);
+                        new_matches += 1;
+                        if iter == 0 {
+                            self.grant_ptr[j].advance_past(i);
+                            self.accept_ptr[i].advance_past(j);
+                        }
                     }
                 }
             }

@@ -89,8 +89,8 @@ pub struct CentralLcf {
     // Workhorse state, reused across slots to keep scheduling allocation-free.
     work: RequestMatrix,
     nrq: Vec<usize>,
-    // Word-parallel scratch (bitset backend, n <= 64): the request matrix as
-    // row masks and its transpose as column masks.
+    // Word-parallel scratch (bitset backend): the request matrix as flat
+    // `n × words_for(n)` row masks and its transpose as column masks.
     rows: Vec<u64>,
     cols: Vec<u64>,
     #[cfg(feature = "telemetry")]
@@ -126,8 +126,8 @@ impl CentralLcf {
             backend: Backend::default(),
             work: RequestMatrix::new(n),
             nrq: vec![0; n],
-            rows: Vec::with_capacity(n),
-            cols: Vec::with_capacity(n),
+            rows: Vec::with_capacity(n * bitkern::words_for(n)),
+            cols: Vec::with_capacity(n * bitkern::words_for(n)),
             #[cfg(feature = "telemetry")]
             tracing: false,
             #[cfg(feature = "telemetry")]
@@ -199,9 +199,9 @@ impl Scheduler for CentralLcf {
         // bit-identical to the word-parallel kernel by contract, and it is
         // where the per-grant decision recording lives.
         #[cfg(feature = "telemetry")]
-        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        let word_parallel = !self.tracing && self.backend.word_parallel();
         #[cfg(not(feature = "telemetry"))]
-        let word_parallel = self.backend.word_parallel(self.n);
+        let word_parallel = self.backend.word_parallel();
         if word_parallel {
             self.schedule_bitset(requests, out)
         } else {
@@ -412,22 +412,23 @@ impl CentralLcf {
         });
     }
 
-    /// The word-parallel kernel (`n <= 64`): the same Fig. 2 algorithm on
-    /// one `u64` row mask per requester plus the transposed column masks.
-    /// Produces grant-for-grant identical schedules to
-    /// [`CentralLcf::schedule_scalar`] — the min-NRQ scan enumerates the
-    /// requesters of a resource in the same rotating order with the same
-    /// strict-minimum tie-break, and grants update the masks exactly as the
-    /// scalar code updates the work matrix.
+    /// The word-parallel kernel: the same Fig. 2 algorithm on multi-word
+    /// row masks (`words_for(n)` words per requester, bit `j % 64` of word
+    /// `j / 64`) plus the transposed column masks. Produces grant-for-grant
+    /// identical schedules to [`CentralLcf::schedule_scalar`] — the min-NRQ
+    /// scan enumerates the requesters of a resource in the same rotating
+    /// order with the same strict-minimum tie-break, and grants update the
+    /// masks exactly as the scalar code updates the work matrix.
     fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
+        let w = bitkern::words_for(n);
         let (i_off, j_off) = (self.pointer.i, self.pointer.j);
 
         out.reset(n);
         bitkern::load_rows(requests.bits(), &mut self.rows);
-        bitkern::col_masks(&self.rows, &mut self.cols);
+        bitkern::col_masks(&self.rows, n, &mut self.cols);
         for req in 0..n {
-            self.nrq[req] = self.rows[req].count_ones() as usize;
+            self.nrq[req] = bitkern::popcount(&self.rows[req * w..(req + 1) * w]);
         }
 
         // Grant bookkeeping: withdraw the winner's row from every column it
@@ -438,31 +439,46 @@ impl CentralLcf {
             rows: &mut [u64],
             cols: &mut [u64],
             nrq: &mut [usize],
+            w: usize,
             gnt: usize,
             resource: usize,
         ) {
             schedule.connect(gnt, resource);
-            let mut row = rows[gnt];
-            while row != 0 {
-                let j = row.trailing_zeros() as usize;
-                row &= row - 1;
-                cols[j] &= !(1u64 << gnt);
+            for wi in 0..w {
+                let mut row = rows[gnt * w + wi];
+                while row != 0 {
+                    let j = wi * bitkern::WORD_BITS + row.trailing_zeros() as usize;
+                    row &= row - 1;
+                    bitkern::clear_bit(&mut cols[j * w..(j + 1) * w], gnt);
+                }
             }
-            rows[gnt] = 0;
+            rows[gnt * w..(gnt + 1) * w].fill(0);
             nrq[gnt] = 0;
-            let mut col = cols[resource];
-            while col != 0 {
-                let req = col.trailing_zeros() as usize;
-                col &= col - 1;
-                nrq[req] -= 1;
+            for wi in 0..w {
+                let mut col = cols[resource * w + wi];
+                while col != 0 {
+                    let req = wi * bitkern::WORD_BITS + col.trailing_zeros() as usize;
+                    col &= col - 1;
+                    nrq[req] -= 1;
+                }
             }
         }
 
         if self.policy == RrPolicy::PriorityDiagonal {
             for res in 0..n {
                 let (di, dj) = self.pointer.diagonal_position(res);
-                if self.rows[di] >> dj & 1 == 1 && !out.output_matched(dj) {
-                    grant(out, &mut self.rows, &mut self.cols, &mut self.nrq, di, dj);
+                if bitkern::test_bit(&self.rows[di * w..(di + 1) * w], dj)
+                    && !out.output_matched(dj)
+                {
+                    grant(
+                        out,
+                        &mut self.rows,
+                        &mut self.cols,
+                        &mut self.nrq,
+                        w,
+                        di,
+                        dj,
+                    );
                 }
             }
         }
@@ -473,17 +489,21 @@ impl CentralLcf {
                 continue;
             }
             let diag_req = (i_off + res) % n;
-            let col = self.cols[resource];
 
-            let gnt: Option<usize> = match self.policy {
-                RrPolicy::Diagonal if col >> diag_req & 1 == 1 => Some(diag_req),
-                RrPolicy::SinglePosition if res == 0 && col >> i_off & 1 == 1 => Some(i_off),
-                RrPolicy::Row if col >> i_off & 1 == 1 => Some(i_off),
-                RrPolicy::Column if res == 0 => bitkern::rotating_first(col, n, diag_req),
-                // Smallest NRQ among the requesters of this resource; the
-                // rotating enumeration from the diagonal requester breaks
-                // ties exactly like the scalar scan.
-                _ => bitkern::min_key_rotating(col, n, diag_req, &self.nrq),
+            let gnt: Option<usize> = {
+                let col = &self.cols[resource * w..(resource + 1) * w];
+                match self.policy {
+                    RrPolicy::Diagonal if bitkern::test_bit(col, diag_req) => Some(diag_req),
+                    RrPolicy::SinglePosition if res == 0 && bitkern::test_bit(col, i_off) => {
+                        Some(i_off)
+                    }
+                    RrPolicy::Row if bitkern::test_bit(col, i_off) => Some(i_off),
+                    RrPolicy::Column if res == 0 => bitkern::rotating_first(col, n, diag_req),
+                    // Smallest NRQ among the requesters of this resource; the
+                    // rotating enumeration from the diagonal requester breaks
+                    // ties exactly like the scalar scan.
+                    _ => bitkern::min_key_rotating(col, n, diag_req, &self.nrq),
+                }
             };
 
             if let Some(gnt) = gnt {
@@ -492,6 +512,7 @@ impl CentralLcf {
                     &mut self.rows,
                     &mut self.cols,
                     &mut self.nrq,
+                    w,
                     gnt,
                     resource,
                 );

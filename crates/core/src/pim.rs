@@ -34,10 +34,14 @@ pub struct Pim {
     trace: IterationTrace,
     #[cfg(feature = "telemetry")]
     tracing: bool,
-    // Word-parallel scratch (bitset backend, n <= 64).
+    // Word-parallel scratch (bitset backend): flat `n × words_for(n)`
+    // masks plus per-port candidate and unmatched scratch masks.
     rows: Vec<u64>,
     cols: Vec<u64>,
     grant_mask: Vec<u64>,
+    unmatched_in: Vec<u64>,
+    unmatched_out: Vec<u64>,
+    cand: Vec<u64>,
 }
 
 impl Pim {
@@ -45,6 +49,7 @@ impl Pim {
     pub fn new(n: usize, iterations: usize, seed: u64) -> Self {
         assert!(n > 0, "scheduler requires n > 0");
         assert!(iterations > 0, "at least one iteration required");
+        let w = bitkern::words_for(n);
         Pim {
             n,
             iterations,
@@ -56,9 +61,12 @@ impl Pim {
             trace: IterationTrace::default(),
             #[cfg(feature = "telemetry")]
             tracing: false,
-            rows: Vec::with_capacity(n),
-            cols: Vec::with_capacity(n),
-            grant_mask: vec![0; n],
+            rows: Vec::with_capacity(n * w),
+            cols: Vec::with_capacity(n * w),
+            grant_mask: vec![0; n * w],
+            unmatched_in: vec![0; w],
+            unmatched_out: vec![0; w],
+            cand: vec![0; w],
         }
     }
 
@@ -102,9 +110,9 @@ impl Scheduler for Pim {
         // consume the RNG identically and produce bit-identical matchings,
         // and the scalar kernel is where step recording lives.
         #[cfg(feature = "telemetry")]
-        let word_parallel = !self.tracing && self.backend.word_parallel(self.n);
+        let word_parallel = !self.tracing && self.backend.word_parallel();
         #[cfg(not(feature = "telemetry"))]
-        let word_parallel = self.backend.word_parallel(self.n);
+        let word_parallel = self.backend.word_parallel();
         if word_parallel {
             self.schedule_bitset(requests, out);
         } else {
@@ -208,55 +216,65 @@ impl Pim {
         }
     }
 
-    /// The word-parallel kernel (`n <= 64`): the uniform pick over a
-    /// candidate list becomes a popcount plus a k-th-set-bit select on the
+    /// The word-parallel kernel: the uniform pick over a candidate list
+    /// becomes a popcount plus a k-th-set-bit select on the multi-word
     /// candidate mask. The ports are visited in the same ascending order
     /// with the same `gen_range` bounds as the scalar kernel, so the RNG
     /// stream is consumed identically and the matchings are bit-identical
     /// to [`Pim::schedule_scalar`].
     fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
+        let w = bitkern::words_for(n);
         out.reset(n);
         let matching = out;
         self.trace.begin_cycle();
         bitkern::load_rows(requests.bits(), &mut self.rows);
-        bitkern::col_masks(&self.rows, &mut self.cols);
-        let mut unmatched_in = bitkern::mask_n(n);
-        let mut unmatched_out = bitkern::mask_n(n);
+        bitkern::col_masks(&self.rows, n, &mut self.cols);
+        bitkern::mask_fill(&mut self.unmatched_in, n);
+        bitkern::mask_fill(&mut self.unmatched_out, n);
 
         for iter in 0..self.iterations {
             // Grant: each unmatched output picks uniformly among the
             // unmatched inputs requesting it (k-th set bit of the mask,
             // ascending — the mask order matches the scalar candidate list).
-            self.grant_mask.iter_mut().for_each(|m| *m = 0);
-            let mut outs = unmatched_out;
-            while outs != 0 {
-                let j = outs.trailing_zeros() as usize;
-                outs &= outs - 1;
-                let cand = self.cols[j] & unmatched_in;
-                let count = cand.count_ones() as usize;
-                if count > 0 {
-                    let pick = self.rng.gen_range(0..count);
-                    let i = bitkern::kth_set_bit(cand, pick);
-                    self.grant_mask[i] |= 1u64 << j;
+            // Word-copy walking visits outputs in ascending order.
+            self.grant_mask.fill(0);
+            for wi in 0..w {
+                let mut outs = self.unmatched_out[wi];
+                while outs != 0 {
+                    let j = wi * bitkern::WORD_BITS + outs.trailing_zeros() as usize;
+                    outs &= outs - 1;
+                    for (k, c) in self.cand.iter_mut().enumerate() {
+                        *c = self.cols[j * w + k] & self.unmatched_in[k];
+                    }
+                    let count = bitkern::popcount(&self.cand);
+                    if count > 0 {
+                        let pick = self.rng.gen_range(0..count);
+                        let i = bitkern::kth_set_bit(&self.cand, pick);
+                        bitkern::set_bit(&mut self.grant_mask[i * w..(i + 1) * w], j);
+                    }
                 }
             }
 
             // Accept: each input holding grants picks uniformly among them.
+            // The per-word snapshot stays valid: inputs are cleared from
+            // `unmatched_in` only when they accept, at most once each.
             let mut new_matches = 0;
-            let mut ins = unmatched_in;
-            while ins != 0 {
-                let i = ins.trailing_zeros() as usize;
-                ins &= ins - 1;
-                let grants = self.grant_mask[i];
-                let count = grants.count_ones() as usize;
-                if count > 0 {
-                    let pick = self.rng.gen_range(0..count);
-                    let j = bitkern::kth_set_bit(grants, pick);
-                    matching.connect(i, j);
-                    unmatched_in &= !(1u64 << i);
-                    unmatched_out &= !(1u64 << j);
-                    new_matches += 1;
+            for wi in 0..w {
+                let mut ins = self.unmatched_in[wi];
+                while ins != 0 {
+                    let i = wi * bitkern::WORD_BITS + ins.trailing_zeros() as usize;
+                    ins &= ins - 1;
+                    let grants = &self.grant_mask[i * w..(i + 1) * w];
+                    let count = bitkern::popcount(grants);
+                    if count > 0 {
+                        let pick = self.rng.gen_range(0..count);
+                        let j = bitkern::kth_set_bit(grants, pick);
+                        matching.connect(i, j);
+                        bitkern::clear_bit(&mut self.unmatched_in, i);
+                        bitkern::clear_bit(&mut self.unmatched_out, j);
+                        new_matches += 1;
+                    }
                 }
             }
             self.trace.new_matches.push(new_matches);

@@ -32,15 +32,18 @@ pub enum SchedulerKind {
 
 /// How the registry resolved a requested kernel [`Backend`] for a concrete
 /// scheduler and port count. Returned by
-/// [`SchedulerKind::build_with_backend`] so callers can surface (rather than
-/// silently absorb) the scalar fallback for `n > 64`.
+/// [`SchedulerKind::build_with_backend`] so callers can see exactly which
+/// kernel will run instead of guessing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BackendChoice {
     /// The scheduler runs the backend the caller asked for.
     AsRequested(Backend),
-    /// The bitset kernel was requested but `n` exceeds
-    /// [`WORD_PORTS`](crate::bitkern::WORD_PORTS), so the scheduler fell
-    /// back to the scalar reference kernel.
+    /// Reserved: a bitset request could not be honored and the scheduler
+    /// fell back to the scalar reference kernel. The multi-word kernels
+    /// ([`bitkern`](crate::bitkern)) serve every port count, so no current
+    /// scheduler constructs this variant; it remains so that callers (and
+    /// the bench fallback asserts) keep a loud guard should a future
+    /// kernel reintroduce a size limit.
     ScalarFallback {
         /// The port count that forced the fallback.
         n: usize,
@@ -70,7 +73,7 @@ impl std::fmt::Display for BackendChoice {
         match self {
             BackendChoice::AsRequested(b) => f.write_str(b.name()),
             BackendChoice::ScalarFallback { n } => {
-                write!(f, "scalar (bitset unavailable for n = {n} > 64)")
+                write!(f, "scalar (bitset unavailable for n = {n})")
             }
             BackendChoice::NoKernel => f.write_str("scalar (no word-parallel kernel)"),
         }
@@ -202,15 +205,14 @@ impl SchedulerKind {
     }
 
     /// Resolves a requested backend for this scheduler at port count `n`
-    /// without building anything. This is the single source of truth for the
-    /// `n > 64` scalar fallback that the kernels apply internally.
-    pub fn resolve_backend(self, n: usize, requested: Backend) -> BackendChoice {
+    /// without building anything. The multi-word kernels serve every port
+    /// count, so schedulers with a kernel always honor the request; only
+    /// kernel-less schedulers report [`BackendChoice::NoKernel`].
+    pub fn resolve_backend(self, _n: usize, requested: Backend) -> BackendChoice {
         if !self.has_kernel() {
             BackendChoice::NoKernel
-        } else if requested.word_parallel(n) || requested == Backend::Scalar {
-            BackendChoice::AsRequested(requested)
         } else {
-            BackendChoice::ScalarFallback { n }
+            BackendChoice::AsRequested(requested)
         }
     }
 
@@ -234,8 +236,8 @@ impl SchedulerKind {
     /// choice.
     ///
     /// Returns the scheduler together with the [`BackendChoice`] that was
-    /// actually applied, so callers can surface the `n > 64` scalar fallback
-    /// instead of silently downgrading.
+    /// actually applied, so callers can assert which kernel runs instead of
+    /// guessing.
     pub fn build_with_backend(
         self,
         n: usize,
@@ -338,21 +340,19 @@ mod tests {
     }
 
     #[test]
-    fn backend_choice_reports_fallback() {
+    fn backend_choice_honors_request_at_any_port_count() {
         let kind = SchedulerKind::LcfCentralRr;
-        assert_eq!(
-            kind.resolve_backend(8, Backend::Bitset),
-            BackendChoice::AsRequested(Backend::Bitset)
-        );
-        assert_eq!(
-            kind.resolve_backend(8, Backend::Scalar),
-            BackendChoice::AsRequested(Backend::Scalar)
-        );
-        let fallback = kind.resolve_backend(100, Backend::Bitset);
-        assert_eq!(fallback, BackendChoice::ScalarFallback { n: 100 });
-        assert!(fallback.is_fallback());
-        assert_eq!(fallback.effective(), Backend::Scalar);
-        assert!(fallback.to_string().contains("n = 100"));
+        for n in [8, 64, 100, 256, 1024] {
+            assert_eq!(
+                kind.resolve_backend(n, Backend::Bitset),
+                BackendChoice::AsRequested(Backend::Bitset),
+                "multi-word kernels must serve n = {n}"
+            );
+            assert_eq!(
+                kind.resolve_backend(n, Backend::Scalar),
+                BackendChoice::AsRequested(Backend::Scalar)
+            );
+        }
         // Schedulers without a kernel ignore the request entirely.
         assert_eq!(
             SchedulerKind::MaxSize.resolve_backend(8, Backend::Bitset),
@@ -361,12 +361,35 @@ mod tests {
     }
 
     #[test]
+    fn scalar_fallback_variant_stays_loud() {
+        // No scheduler constructs ScalarFallback today, but the reporting
+        // surface must stay meaningful for the bench fallback asserts.
+        let fallback = BackendChoice::ScalarFallback { n: 100 };
+        assert!(fallback.is_fallback());
+        assert_eq!(fallback.effective(), Backend::Scalar);
+        assert!(fallback.to_string().contains("n = 100"));
+        assert!(!BackendChoice::AsRequested(Backend::Bitset).is_fallback());
+        assert!(!BackendChoice::NoKernel.is_fallback());
+    }
+
+    #[test]
     fn build_with_backend_returns_the_resolved_choice() {
         let (s, choice) = SchedulerKind::Islip.build_with_backend(100, 4, 1, Backend::Bitset);
         assert_eq!(s.num_ports(), 100);
-        assert_eq!(choice, BackendChoice::ScalarFallback { n: 100 });
-        let (_, choice) = SchedulerKind::Pim.build_with_backend(16, 4, 1, Backend::Bitset);
         assert_eq!(choice, BackendChoice::AsRequested(Backend::Bitset));
+        for kind in [
+            SchedulerKind::LcfCentral,
+            SchedulerKind::Islip,
+            SchedulerKind::Pim,
+            SchedulerKind::Wavefront,
+        ] {
+            let (_, choice) = kind.build_with_backend(256, 4, 1, Backend::Bitset);
+            assert_eq!(
+                choice,
+                BackendChoice::AsRequested(Backend::Bitset),
+                "{kind} must run the bitset kernel at n = 256"
+            );
+        }
     }
 
     #[test]

@@ -24,20 +24,25 @@ pub struct Wavefront {
     n: usize,
     offset: usize,
     backend: Backend,
-    // Word-parallel scratch (bitset backend, n <= 64): diag[d] holds the
-    // requesting rows of wrapped diagonal d.
+    // Word-parallel scratch (bitset backend): diag[d*w..(d+1)*w] holds the
+    // requesting rows of wrapped diagonal d as a words_for(n)-word mask.
     diag: Vec<u64>,
+    free_in: Vec<u64>,
+    free_out: Vec<u64>,
 }
 
 impl Wavefront {
     /// Creates a wavefront arbiter for an `n`-port switch.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "scheduler requires n > 0");
+        let w = bitkern::words_for(n);
         Wavefront {
             n,
             offset: 0,
             backend: Backend::default(),
-            diag: Vec::with_capacity(n),
+            diag: vec![0; n * w],
+            free_in: vec![0; w],
+            free_out: vec![0; w],
         }
     }
 
@@ -70,7 +75,7 @@ impl Scheduler for Wavefront {
 
     fn schedule_into(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         assert_eq!(requests.n(), self.n, "request matrix size mismatch");
-        if self.backend.word_parallel(self.n) {
+        if self.backend.word_parallel() {
             self.schedule_bitset(requests, out);
         } else {
             self.schedule_scalar(requests, out);
@@ -103,41 +108,48 @@ impl Wavefront {
         }
     }
 
-    /// The word-parallel kernel (`n <= 64`): requests are bucketed into
-    /// per-diagonal row masks in `O(set bits)`, then each wave is one `AND`
-    /// with the free-inputs mask plus a set-bit walk. The cells of one
-    /// wrapped diagonal touch distinct rows and columns, so the walk order
-    /// within a wave cannot change the outcome; matchings are bit-identical
-    /// to [`Wavefront::schedule_scalar`].
+    /// The word-parallel kernel: requests are bucketed into per-diagonal
+    /// multi-word row masks in `O(set bits)`, then each wave is a word-wise
+    /// `AND` with the free-inputs mask plus a set-bit walk. The cells of
+    /// one wrapped diagonal touch distinct rows and columns, so the walk
+    /// order within a wave cannot change the outcome (each row and column
+    /// appears at most once per wave, so clearing `free_in`/`free_out`
+    /// mid-wave never invalidates the word snapshot); matchings are
+    /// bit-identical to [`Wavefront::schedule_scalar`].
     fn schedule_bitset(&mut self, requests: &RequestMatrix, out: &mut Matching) {
         let n = self.n;
+        let w = bitkern::words_for(n);
         out.reset(n);
         let matching = out;
 
-        self.diag.clear();
-        self.diag.resize(n, 0);
+        self.diag.fill(0);
         for i in 0..n {
-            let mut row = requests.bits().row_words(i)[0];
-            while row != 0 {
-                let j = row.trailing_zeros() as usize;
-                row &= row - 1;
-                self.diag[(i + j) % n] |= 1u64 << i;
+            for (wi, &word) in requests.bits().row_words(i).iter().enumerate() {
+                let mut row = word;
+                while row != 0 {
+                    let j = wi * bitkern::WORD_BITS + row.trailing_zeros() as usize;
+                    row &= row - 1;
+                    let d = (i + j) % n;
+                    bitkern::set_bit(&mut self.diag[d * w..(d + 1) * w], i);
+                }
             }
         }
 
-        let mut free_in = bitkern::mask_n(n);
-        let mut free_out = bitkern::mask_n(n);
+        bitkern::mask_fill(&mut self.free_in, n);
+        bitkern::mask_fill(&mut self.free_out, n);
         for wave in 0..n {
             let d = (wave + self.offset) % n;
-            let mut cand = self.diag[d] & free_in;
-            while cand != 0 {
-                let i = cand.trailing_zeros() as usize;
-                cand &= cand - 1;
-                let j = (d + n - i) % n;
-                if free_out >> j & 1 == 1 {
-                    matching.connect(i, j);
-                    free_in &= !(1u64 << i);
-                    free_out &= !(1u64 << j);
+            for wi in 0..w {
+                let mut cand = self.diag[d * w + wi] & self.free_in[wi];
+                while cand != 0 {
+                    let i = wi * bitkern::WORD_BITS + cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let j = (d + n - i) % n;
+                    if bitkern::test_bit(&self.free_out, j) {
+                        matching.connect(i, j);
+                        bitkern::clear_bit(&mut self.free_in, i);
+                        bitkern::clear_bit(&mut self.free_out, j);
+                    }
                 }
             }
         }

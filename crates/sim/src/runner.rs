@@ -53,9 +53,8 @@ pub struct SimReport {
     /// Seed the run used.
     pub seed: u64,
     /// Human-readable description of the matching-kernel backend that
-    /// actually ran (from [`lcf_core::registry::BackendChoice`]) — surfaces
-    /// the silent `n > 64` scalar fallback. `"n/a (no scheduler)"` for the
-    /// output-buffered model.
+    /// actually ran (from [`lcf_core::registry::BackendChoice`]).
+    /// `"n/a (no scheduler)"` for the output-buffered model.
     pub backend: String,
 }
 
@@ -527,15 +526,12 @@ mod tests {
         assert_eq!(run_sim(&cfg).backend, "bitset");
         cfg.backend = Backend::Scalar;
         assert_eq!(run_sim(&cfg).backend, "scalar");
-        // Past the word width the fallback must be loud, not silent.
+        // Past the word width the multi-word kernels keep serving the
+        // bitset request — no scalar fallback, silent or otherwise.
         cfg.backend = Backend::Bitset;
         cfg.n = 70;
         let r = run_sim(&cfg);
-        assert!(
-            r.backend.contains("n = 70"),
-            "fallback not surfaced: {}",
-            r.backend
-        );
+        assert_eq!(r.backend, "bitset", "n = 70 must stay bit-parallel");
         // Schedulers without a kernel and outbuf report their own story.
         cfg.n = 8;
         cfg.model = ModelKind::Scheduler(SchedulerKind::MaxSize);
