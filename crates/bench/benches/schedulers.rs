@@ -1,13 +1,15 @@
 //! Criterion bench: cost of one scheduling decision, per scheduler, at the
 //! paper's n = 16 across request densities (EXT-5), plus the word-parallel
-//! kernel comparison (scalar vs bitset backend) across port counts.
+//! kernel comparison (scalar vs bitset backend) across port counts, plus
+//! the `sim_heavy` end-to-end heavy-traffic slot loop (load 0.99, n = 32)
+//! comparing the fast path against the legacy paths.
 //!
 //! Regenerate the committed baseline with
 //! `CRITERION_JSON=$PWD/results/BENCH_schedulers.json cargo bench --bench schedulers`
 //! from the workspace root (absolute path: bench binaries run with the
 //! package dir as cwd).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lcf_core::bitkern::Backend;
 use lcf_core::matching::Matching;
 use lcf_core::registry::SchedulerKind;
@@ -96,5 +98,62 @@ fn bench_kernels(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_schedulers, bench_kernels);
+/// The heavy-traffic slot loop: `lcf_central` at n = 32, load 0.99,
+/// full simulator pipeline (traffic → PQ → VOQ spill → schedule →
+/// delivery → stats). Three variants, measured in the same run so the
+/// committed ratios are machine-independent:
+///
+/// * `reference` — scalar matching kernel + legacy per-pair generator,
+///   the paper-transliteration path every optimization is accounted
+///   against;
+/// * `legacy` — word-parallel kernel + legacy generator (the pre-fast-path
+///   production default);
+/// * `fast` — word-parallel kernel + batched word-granularity generator,
+///   the heavy-traffic fast path.
+///
+/// `bench_guard` asserts from the committed baseline that `fast` is at
+/// least 3x the `reference` slot rate and never slower than `legacy`.
+fn bench_sim_heavy(c: &mut Criterion) {
+    use lcf_sim::stats::SimStats;
+    use lcf_sim::switch::{IqSwitch, QueueMode};
+    use lcf_sim::traffic::{Bernoulli, DestPattern, FastBernoulli, Traffic};
+
+    const SLOTS_PER_ITER: u64 = 1_000;
+    let n = 32usize;
+    let load = 0.99;
+    let mut group = c.benchmark_group("sim_heavy");
+    group.throughput(Throughput::Elements(SLOTS_PER_ITER));
+
+    for variant in ["reference", "legacy", "fast"] {
+        let backend = if variant == "reference" {
+            Backend::Scalar
+        } else {
+            Backend::Bitset
+        };
+        group.bench_function(BenchmarkId::new("lcf_central_n32_load0.99", variant), |b| {
+            let sched = SchedulerKind::LcfCentral
+                .build_with_backend(n, 4, 2, backend)
+                .0;
+            let mut sw = IqSwitch::new(n, sched, QueueMode::Voq { cap: 256 }, 1_000);
+            let mut traffic: Box<dyn Traffic> = if variant == "fast" {
+                Box::new(FastBernoulli::new(n, load, DestPattern::Uniform))
+            } else {
+                Box::new(Bernoulli::new(n, load, DestPattern::Uniform))
+            };
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut stats = SimStats::new(n, 0, 4096);
+            let mut slot = 0u64;
+            b.iter(|| {
+                for _ in 0..SLOTS_PER_ITER {
+                    sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+                    slot += 1;
+                }
+                std::hint::black_box(stats.delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_kernels, bench_sim_heavy);
 criterion_main!(benches);

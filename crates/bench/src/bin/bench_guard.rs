@@ -1,6 +1,7 @@
 //! `bench_guard` — asserts that a telemetry-off build of the central LCF
 //! scheduler is still in the same performance class as the committed
-//! baseline (`results/BENCH_schedulers.json`).
+//! baseline (`results/BENCH_schedulers.json`), and that the heavy-traffic
+//! fast path keeps its committed speedup over the legacy paths.
 //!
 //! The telemetry layer is feature-gated and must compile to no-ops when the
 //! `telemetry` feature is off. A perf regression here would mean the gating
@@ -9,14 +10,23 @@
 //! multiple of the baseline, not a percentage — but it catches the failure
 //! mode that matters: an accidental order-of-magnitude slowdown.
 //!
+//! The `sim_heavy` checks work differently: the committed baseline records
+//! all three heavy-traffic variants (`reference`, `legacy`, `fast`) from
+//! the *same* criterion run, so their ratios are machine-independent. The
+//! guard asserts the committed ratios (fast >= 3x reference slot rate,
+//! fast never slower than legacy) and then re-measures the fast-vs-reference
+//! ratio live with a cruder timer and a wider margin.
+//!
 //! ```text
 //! cargo run --release -p lcf-bench --bin bench_guard
 //! ```
 //!
-//! Exits non-zero iff any measured median exceeds `TOLERANCE x` baseline.
+//! Exits non-zero iff any measured median exceeds `TOLERANCE x` baseline or
+//! any `sim_heavy` ratio check fails.
 
 #![forbid(unsafe_code)]
 
+use lcf_core::bitkern::Backend;
 use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
 use rand::rngs::StdRng;
@@ -71,11 +81,127 @@ fn main() {
         }
     }
 
+    failures += check_sim_heavy(&baseline);
+
     if failures > 0 {
         eprintln!("bench_guard: {failures} check(s) failed");
         std::process::exit(1);
     }
     println!("bench_guard: all checks passed (tolerance {TOLERANCE}x)");
+}
+
+/// Committed fast-vs-reference speedup floor: the baseline was recorded
+/// with all three variants in one criterion run, so this ratio is a
+/// property of the code, not of the machine that recorded it.
+const HEAVY_RATIO_BASELINE: f64 = 3.0;
+
+/// Live re-measurement floor for the same ratio; wider because the guard's
+/// crude timer runs on noisy CI machines. A fast path that has collapsed
+/// to parity with the scalar reference fails this even on a bad VM.
+const HEAVY_RATIO_LIVE: f64 = 2.0;
+
+/// Heavy-traffic slot loop guards (the `sim_heavy` criterion group):
+/// baseline ratio checks plus a live fast-vs-reference re-measurement.
+fn check_sim_heavy(baseline: &str) -> usize {
+    let id = |variant: &str| format!("sim_heavy/lcf_central_n32_load0.99/{variant}");
+    let mut entries = [0.0f64; 3];
+    for (slot, variant) in entries.iter_mut().zip(["reference", "legacy", "fast"]) {
+        match ns_median_for(baseline, &id(variant)) {
+            Some(ns) => *slot = ns,
+            None => {
+                eprintln!(
+                    "bench_guard: baseline entry `{}` not found in BENCH_schedulers.json",
+                    id(variant)
+                );
+                return 1;
+            }
+        }
+    }
+    let [reference_ns, legacy_ns, fast_ns] = entries;
+    let mut failures = 0usize;
+
+    let committed_ratio = reference_ns / fast_ns;
+    let verdict = if committed_ratio >= HEAVY_RATIO_BASELINE {
+        "ok"
+    } else {
+        failures += 1;
+        "FAIL"
+    };
+    println!(
+        "bench_guard: sim_heavy committed fast speedup {committed_ratio:.2}x over reference \
+         (floor {HEAVY_RATIO_BASELINE}x)  {verdict}"
+    );
+
+    let verdict = if fast_ns <= legacy_ns {
+        "ok"
+    } else {
+        failures += 1;
+        "FAIL"
+    };
+    println!(
+        "bench_guard: sim_heavy committed fast {fast_ns:.0} ns <= legacy {legacy_ns:.0} ns \
+         per iter  {verdict}"
+    );
+
+    let live_fast = measure_heavy_slot(Backend::Bitset, true);
+    let live_reference = measure_heavy_slot(Backend::Scalar, false);
+    let live_ratio = live_reference / live_fast;
+    let verdict = if live_ratio >= HEAVY_RATIO_LIVE {
+        "ok"
+    } else {
+        failures += 1;
+        "FAIL"
+    };
+    println!(
+        "bench_guard: sim_heavy live reference {live_reference:8.1} ns/slot  fast \
+         {live_fast:8.1} ns/slot  ratio {live_ratio:.2}x (floor {HEAVY_RATIO_LIVE}x)  {verdict}"
+    );
+    failures
+}
+
+/// Median ns per slot of the heavy-traffic loop (`lcf_central`, n = 32,
+/// load 0.99), mirroring the `sim_heavy` criterion group with the guard's
+/// cruder timer.
+fn measure_heavy_slot(backend: Backend, fast_traffic: bool) -> f64 {
+    use lcf_sim::stats::SimStats;
+    use lcf_sim::switch::{IqSwitch, QueueMode};
+    use lcf_sim::traffic::{Bernoulli, DestPattern, FastBernoulli, Traffic};
+
+    const SLOTS_PER_SAMPLE: u64 = 2_000;
+    const HEAVY_SAMPLES: usize = 7;
+
+    let n = 32usize;
+    let sched = SchedulerKind::LcfCentral
+        .build_with_backend(n, 4, 2, backend)
+        .0;
+    let mut sw = IqSwitch::new(n, sched, QueueMode::Voq { cap: 256 }, 1_000);
+    let mut traffic: Box<dyn Traffic> = if fast_traffic {
+        Box::new(FastBernoulli::new(n, 0.99, DestPattern::Uniform))
+    } else {
+        Box::new(Bernoulli::new(n, 0.99, DestPattern::Uniform))
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut stats = SimStats::new(n, 0, 4096);
+    let mut slot = 0u64;
+
+    // Warm-up fills the queues to the load-0.99 steady state.
+    for _ in 0..SLOTS_PER_SAMPLE {
+        sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+        slot += 1;
+    }
+
+    let mut samples: Vec<f64> = (0..HEAVY_SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..SLOTS_PER_SAMPLE {
+                sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+                slot += 1;
+            }
+            start.elapsed().as_nanos() as f64 / SLOTS_PER_SAMPLE as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
 }
 
 /// Median ns per `schedule()` call for central LCF at the given density,

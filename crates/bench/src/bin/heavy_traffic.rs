@@ -1,0 +1,157 @@
+//! Heavy-traffic delay scaling (EXT): mean queueing delay vs `1/(1−ρ)` at
+//! loads 0.98 / 0.99 / 0.995 with replication confidence intervals.
+//!
+//! Heavy-traffic theory predicts the mean delay of a work-conserving switch
+//! grows like `1/(1−ρ)` as the offered load ρ approaches capacity; the
+//! interesting question is the *coefficient* each scheduler pays. This
+//! experiment drives the fast-path stack end to end: `FastBernoulli`
+//! traffic (one keystream word per input per slot at n = 16),
+//! `run_replicated` for independent replications with 95% CIs, and the
+//! word-parallel matching kernels — exactly the configuration the
+//! `sim_heavy` bench group and `bench_guard` protect.
+//!
+//! Queues are sized (PQ 20 000, VOQ 10 000) so that no packet is dropped at
+//! any of the three loads — delay scaling is only meaningful on a loss-free
+//! horizon; the run asserts zero loss.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin heavy_traffic [--quick] [--seed N]`
+//!
+//! `--quick` shrinks the horizon and replication count for smoke tests
+//! (CI runs it this way); the committed `results/heavy_traffic.csv` comes
+//! from the full run: 8 replications × 10⁶ measured slots per point.
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, write_csv};
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};
+use lcf_sim::runner::run_replicated;
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0x4EA7);
+    let (warmup, measure, replications) = if quick {
+        (10_000u64, 50_000u64, 3usize)
+    } else {
+        (200_000u64, 1_000_000u64, 8usize)
+    };
+    let loads = [0.98, 0.99, 0.995];
+    let models = [
+        SchedulerKind::LcfCentral,
+        SchedulerKind::LcfCentralRr,
+        SchedulerKind::Islip,
+        SchedulerKind::Wavefront,
+    ];
+    eprintln!(
+        "heavy_traffic: n=16 uniform FastBernoulli, {replications} replications x {measure} \
+         slots (warmup {warmup}), seed={seed}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for kind in models {
+        for load in loads {
+            let cfg = SimConfig {
+                model: ModelKind::Scheduler(kind),
+                load,
+                traffic: TrafficKind::FastBernoulli,
+                // Loss-free horizon: delay scaling is meaningless once the
+                // queues clip the tail.
+                pq_cap: 20_000,
+                voq_cap: 10_000,
+                warmup_slots: warmup,
+                measure_slots: measure,
+                seed,
+                // p99 at load .995 exceeds paper_default's 4096 bucket cap.
+                max_latency_bucket: 65_536,
+                ..SimConfig::paper_default()
+            };
+            let rep = run_replicated(&cfg, replications);
+            assert_eq!(
+                rep.loss_rate.mean,
+                0.0,
+                "{} at load {load}: packets dropped — queues undersized",
+                kind.name()
+            );
+            let scale = 1.0 / (1.0 - load);
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{load:.3}"),
+                format!("{scale:.0}"),
+                format!(
+                    "{:.2} ± {:.2}",
+                    rep.mean_latency.mean, rep.mean_latency.half_width
+                ),
+                format!(
+                    "{:.1} ± {:.1}",
+                    rep.p99_latency.mean, rep.p99_latency.half_width
+                ),
+                format!("{:.2}", rep.mean_latency.mean / scale),
+                format!("{:.4}", rep.throughput.mean),
+            ]);
+            csv_rows.push(vec![
+                kind.name().to_string(),
+                format!("{load}"),
+                format!("{scale}"),
+                f2(rep.mean_latency.mean),
+                f2(rep.mean_latency.half_width),
+                f2(rep.p99_latency.mean),
+                f2(rep.p99_latency.half_width),
+                format!("{:.4}", rep.mean_latency.mean / scale),
+                format!("{:.5}", rep.throughput.mean),
+                format!("{:.5}", rep.throughput.half_width),
+                f2(rep.mean_queue_len.mean),
+                format!("{replications}"),
+                format!("{measure}"),
+            ]);
+            eprintln!(
+                "  {} load {load}: {:.2} ± {:.2} slots",
+                kind.name(),
+                rep.mean_latency.mean,
+                rep.mean_latency.half_width
+            );
+        }
+    }
+
+    println!("\nHeavy-traffic delay scaling — n=16, uniform Bernoulli (fast path)");
+    println!("(delay/(1/(1-rho)) constant across loads ⇒ the scheduler obeys 1/(1-rho) scaling)");
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "model",
+                "load",
+                "1/(1-rho)",
+                "delay [slots] ±95%",
+                "p99 [slots] ±95%",
+                "delay·(1-rho)",
+                "throughput",
+            ],
+            &rows
+        )
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("heavy_traffic.csv");
+    write_csv(
+        &path,
+        &[
+            "model",
+            "load",
+            "inv_one_minus_rho",
+            "mean_delay_slots",
+            "mean_delay_ci95",
+            "p99_delay_slots",
+            "p99_delay_ci95",
+            "delay_times_one_minus_rho",
+            "throughput",
+            "throughput_ci95",
+            "mean_queue_len",
+            "replications",
+            "measure_slots",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

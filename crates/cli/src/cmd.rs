@@ -28,11 +28,15 @@ pub fn help() -> String {
      \x20            --scheduler <name|outbuf> --load 0.8 [--ports 16]\n\
      \x20            [--slots 100000] [--warmup 20000] [--seed N]\n\
      \x20            [--pattern uniform|nonself|diagonal|hotspot:PORT:FRAC]\n\
-     \x20            [--bursty MEAN_BURST] [--backend bitset|scalar]\n\
+     \x20            [--bursty MEAN_BURST] [--fast] [--backend bitset|scalar]\n\
      \x20            [--trace out.jsonl] [--metrics out.json] [--trace-cap N]\n\
      \x20 sweep      simulate many (scheduler, load) points\n\
      \x20            --loads 0.5,0.8,0.9 [--schedulers all|a,b,c] [...simulate opts]\n\
-     \x20            [--trace out.jsonl] [--metrics out.json]\n\
+     \x20            [--replications R] [--trace out.jsonl] [--metrics out.json]\n\
+     \n\
+     \x20 --fast selects the word-granularity traffic kernels (same arrival\n\
+     \x20 process, different RNG stream, ~4x less RNG work); --replications R\n\
+     \x20 averages R independent seeds per point and reports 95% CIs.\n\
      \x20 trace      replay one seed and pretty-print scheduler decisions\n\
      \x20            [--scheduler lcf_central_rr] [--ports 4] [--load 0.85]\n\
      \x20            [--slots 12] [--seed N] (needs the `telemetry` feature)\n\
@@ -116,11 +120,15 @@ fn sim_config(args: &Args, model: ModelKind) -> Result<SimConfig, String> {
         n,
         load: args.get_parsed("load", 0.8f64)?,
         pattern: parse_pattern(args, n)?,
-        traffic: match args.get("bursty") {
-            Some(_) => TrafficKind::Bursty {
+        traffic: match (args.get("bursty"), args.flag("fast")) {
+            (Some(_), false) => TrafficKind::Bursty {
                 mean_burst: args.get_parsed("bursty", 16.0f64)?,
             },
-            None => TrafficKind::Bernoulli,
+            (Some(_), true) => TrafficKind::FastBursty {
+                mean_burst: args.get_parsed("bursty", 16.0f64)?,
+            },
+            (None, true) => TrafficKind::FastBernoulli,
+            (None, false) => TrafficKind::Bernoulli,
         },
         iterations: args.get_parsed("iterations", 4usize)?,
         islip_iterations: args.get_parsed("islip-iterations", 4usize)?,
@@ -264,7 +272,18 @@ fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
             *mean_burst,
             cfg.pattern.clone(),
         )),
+        TrafficKind::FastBursty { mean_burst } => Box::new(lcf_sim::traffic::FastBursty::new(
+            n,
+            cfg.load,
+            *mean_burst,
+            cfg.pattern.clone(),
+        )),
         TrafficKind::Bernoulli => Box::new(lcf_sim::traffic::Bernoulli::new(
+            n,
+            cfg.load,
+            cfg.pattern.clone(),
+        )),
+        TrafficKind::FastBernoulli => Box::new(lcf_sim::traffic::FastBernoulli::new(
             n,
             cfg.load,
             cfg.pattern.clone(),
@@ -317,6 +336,20 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             configs.push(cfg);
         }
     }
+    let replications = args.get_parsed("replications", 1usize)?;
+    if replications == 0 {
+        return Err("--replications must be positive".into());
+    }
+    if replications > 1 {
+        if wants_telemetry(args) {
+            return Err("--replications does not combine with --trace/--metrics".into());
+        }
+        let reps: Vec<lcf_sim::runner::ReplicatedReport> = configs
+            .iter()
+            .map(|cfg| lcf_sim::runner::run_replicated(cfg, replications))
+            .collect();
+        return Ok(replicated_table(&models, &loads, &reps, replications));
+    }
     #[cfg(feature = "telemetry")]
     if wants_telemetry(args) {
         return sweep_traced(args, &models, &loads, &configs);
@@ -327,6 +360,39 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     }
     let reports = lcf_sim::runner::sweep(&configs);
     Ok(sweep_table(&models, &loads, &reports))
+}
+
+fn replicated_table(
+    models: &[ModelKind],
+    loads: &[f64],
+    reps: &[lcf_sim::runner::ReplicatedReport],
+    replications: usize,
+) -> String {
+    let mut out = String::new();
+    write!(out, "{:<16}", "model").unwrap();
+    for load in loads {
+        write!(out, " {load:>15}").unwrap();
+    }
+    out.push('\n');
+    for (mi, model) in models.iter().enumerate() {
+        write!(out, "{:<16}", model.name()).unwrap();
+        for li in 0..loads.len() {
+            let r = &reps[mi * loads.len() + li];
+            write!(
+                out,
+                " {:>8.2}±{:<6.2}",
+                r.mean_latency.mean, r.mean_latency.half_width
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    writeln!(
+        out,
+        "(mean queueing delay in slots ± 95% CI, {replications} replications per point)"
+    )
+    .unwrap();
+    out
 }
 
 fn sweep_table(models: &[ModelKind], loads: &[f64], reports: &[SimReport]) -> String {
@@ -773,6 +839,43 @@ mod tests {
         let out = sweep(&args).unwrap();
         assert!(out.contains("lcf_central"));
         assert!(out.contains("pim"));
+    }
+
+    #[test]
+    fn sweep_with_replications_renders_cis() {
+        let args = parse(&[
+            "--loads",
+            "0.5",
+            "--schedulers",
+            "lcf_central",
+            "--ports",
+            "8",
+            "--slots",
+            "2000",
+            "--warmup",
+            "500",
+            "--replications",
+            "3",
+            "--fast",
+        ]);
+        let out = sweep(&args).unwrap();
+        assert!(out.contains('±'), "{out}");
+        assert!(out.contains("3 replications"), "{out}");
+        let bad = parse(&["--replications", "0"]);
+        assert!(sweep(&bad).unwrap_err().contains("replications"));
+    }
+
+    #[test]
+    fn fast_flag_selects_fast_generators() {
+        let args = parse(&["--fast"]);
+        let cfg = sim_config(&args, ModelKind::Scheduler(SchedulerKind::LcfCentral)).unwrap();
+        assert_eq!(cfg.traffic, TrafficKind::FastBernoulli);
+        let args = parse(&["--fast", "--bursty", "8"]);
+        let cfg = sim_config(&args, ModelKind::Scheduler(SchedulerKind::LcfCentral)).unwrap();
+        assert_eq!(cfg.traffic, TrafficKind::FastBursty { mean_burst: 8.0 });
+        let args = parse(&[]);
+        let cfg = sim_config(&args, ModelKind::Scheduler(SchedulerKind::LcfCentral)).unwrap();
+        assert_eq!(cfg.traffic, TrafficKind::Bernoulli);
     }
 
     #[test]

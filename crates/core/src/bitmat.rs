@@ -69,6 +69,15 @@ impl BitMatrix {
         self.words_per_row
     }
 
+    /// All rows' words as one flat row-major slice
+    /// (`n * words_per_row()` words) — the same layout
+    /// [`BitMatrix::row_words`] exposes per row. Lets word-parallel kernels
+    /// ingest the whole matrix with a single copy.
+    #[inline]
+    pub fn all_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// The words of `row`, least-significant bit = column 0. Bits at or
     /// beyond column `n` are always zero.
     #[inline]

@@ -1,0 +1,389 @@
+//! Word-granularity bulk samplers for hot simulation loops.
+//!
+//! The general-purpose sampling path (`gen_bool` / `gen_range` in the rand
+//! compat shim) spends most of its time on per-call setup: an f64 convert
+//! and compare for Bernoulli, and a `wrapping_neg() % bound` division for
+//! every bounded draw. In a heavy-traffic simulation those run once per
+//! input per slot and dominate the traffic generator. The samplers here
+//! hoist all of that to construction time and reduce each decision to one
+//! or two word operations on raw keystream words:
+//!
+//! * [`Bernoulli32`] — a fixed-point threshold compare: `word < ⌈p·2³²⌉`.
+//!   Resolution is 2⁻³² ≈ 2.3·10⁻¹⁰, far below the sampling noise of any
+//!   feasible horizon (a 10⁹-slot run resolves rates to ~10⁻⁴·σ), so the
+//!   quantization is statistically invisible even at load 0.995.
+//! * [`UniformU32`] — Lemire's multiply-shift bounded reduction with the
+//!   rejection threshold precomputed at construction, so the hot loop has
+//!   no division at all.
+//! * [`AliasTable`] — a Walker/Vose alias table: O(1) sampling from any
+//!   fixed discrete distribution (hotspot and diagonal destination
+//!   patterns) using one bounded draw and one threshold compare.
+//!
+//! All samplers consume raw `u32` words supplied by the caller, so one
+//! [`crate::ChaCha8Rng::next_u64`] can feed two independent decisions and
+//! the samplers stay decoupled from any particular generator type.
+
+/// A Bernoulli sampler as a fixed-point threshold on raw 32-bit words.
+///
+/// `hit(word)` is `true` with probability `round(p·2³²)/2³²` over uniform
+/// words; `p = 1.0` is exact (every word hits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bernoulli32 {
+    /// `hit` iff `word < threshold`; `u32::MAX` with `always` covers p = 1.
+    threshold: u32,
+    always: bool,
+}
+
+impl Bernoulli32 {
+    /// Builds the sampler for success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` (NaN included).
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]: {p}");
+        let scaled = (p * 4_294_967_296.0).round() as u64;
+        if scaled >= 1 << 32 {
+            Bernoulli32 {
+                threshold: u32::MAX,
+                always: true,
+            }
+        } else {
+            Bernoulli32 {
+                threshold: scaled as u32,
+                always: false,
+            }
+        }
+    }
+
+    /// Whether this word is a success. `word` must be uniform over `u32`.
+    #[inline]
+    pub fn hit(&self, word: u32) -> bool {
+        self.always || word < self.threshold
+    }
+
+    /// The raw fixed-point threshold: when [`Bernoulli32::is_always`] is
+    /// false, `hit` iff `word < threshold`. Exposed so callers can build
+    /// fused kernels (gate + payload in one word) on the same quantization.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Whether the sampler accepts every word (`p = 1.0` exactly).
+    pub fn is_always(&self) -> bool {
+        self.always
+    }
+
+    /// The exact success probability the sampler realizes.
+    pub fn p(&self) -> f64 {
+        if self.always {
+            1.0
+        } else {
+            self.threshold as f64 / 4_294_967_296.0
+        }
+    }
+}
+
+/// A uniform sampler over `[0, bound)` via Lemire's multiply-shift
+/// reduction, with the rejection threshold precomputed so the sampling
+/// loop is division-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformU32 {
+    bound: u32,
+    /// Words whose low product half falls below this are rejected
+    /// (`2³² mod bound` of them), which removes the modulo bias.
+    threshold: u32,
+}
+
+impl UniformU32 {
+    /// Builds the sampler for the half-open range `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn new(bound: u32) -> Self {
+        assert!(bound > 0, "cannot sample an empty range");
+        UniformU32 {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
+    }
+
+    /// The exclusive upper bound.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Draws one value, pulling fresh words from `next` until one is
+    /// accepted (at most `2³² mod bound` in `2³²` words are rejected, so
+    /// almost always exactly one draw).
+    #[inline]
+    pub fn sample<F: FnMut() -> u32>(&self, mut next: F) -> u32 {
+        loop {
+            let m = (next() as u64) * (self.bound as u64);
+            if (m as u32) >= self.threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+}
+
+/// A Walker/Vose alias table: O(1) sampling from a fixed discrete
+/// distribution over `0..len`.
+///
+/// Sampling draws a uniform column and one extra word: the word decides
+/// between the column itself and its alias via a fixed-point threshold.
+/// Each column's threshold is quantized to 2⁻³², so realized probabilities
+/// match the requested weights to within `len·2⁻³²` — statistically
+/// invisible at simulation horizons.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    column: UniformU32,
+    /// `keep iff word < prob[col]`, else take `alias[col]`.
+    prob: Vec<u32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        let mut sum = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight: {w}");
+            sum += w;
+        }
+        assert!(sum > 0.0, "weights sum to zero");
+
+        // Vose's stack construction on the weights scaled to mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / sum).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        // alias[i] = i means "no alias": a spurious alias hit (possible
+        // only through threshold rounding) still returns the right column.
+        let mut prob = vec![u32::MAX; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = (scaled[s] * 4_294_967_296.0).round().min(u32::MAX as f64) as u32;
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers on either stack have scaled weight 1 up to rounding:
+        // keep their initialized full-probability, self-alias entries.
+        AliasTable {
+            column: UniformU32::new(n as u32),
+            prob,
+            alias,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is over a single outcome.
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty weight sets
+    }
+
+    /// Draws one outcome index, pulling words from `next` (two words in
+    /// the common case; more only on a Lemire rejection).
+    #[inline]
+    pub fn sample<F: FnMut() -> u32>(&self, mut next: F) -> usize {
+        let col = self.column.sample(&mut next) as usize;
+        if next() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChaCha8Rng;
+
+    #[test]
+    fn bernoulli_threshold_is_frozen() {
+        // round(0.99 · 2³²) — a golden value: changing the fixed-point
+        // derivation silently changes every fast-generator stream.
+        let b = Bernoulli32::new(0.99);
+        assert_eq!(b.threshold, 4_252_017_623);
+        assert!(!b.always);
+        assert!(b.hit(4_252_017_622));
+        assert!(!b.hit(4_252_017_623));
+        let half = Bernoulli32::new(0.5);
+        assert_eq!(half.threshold, 1u64.wrapping_shl(31) as u32);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let never = Bernoulli32::new(0.0);
+        let always = Bernoulli32::new(1.0);
+        for word in [0, 1, u32::MAX / 2, u32::MAX - 1, u32::MAX] {
+            assert!(!never.hit(word));
+            assert!(always.hit(word));
+        }
+        assert_eq!(never.p(), 0.0);
+        assert_eq!(always.p(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability outside")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = Bernoulli32::new(1.0000001);
+    }
+
+    #[test]
+    fn bernoulli_empirical_rates() {
+        let mut rng = ChaCha8Rng::from_u64_seed(11);
+        for p in [0.01, 0.5, 0.99, 0.995] {
+            let b = Bernoulli32::new(p);
+            let draws = 200_000u32;
+            let hits = (0..draws).filter(|_| b.hit(rng.next_u32())).count() as f64;
+            let rate = hits / draws as f64;
+            let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (rate - p).abs() < 6.0 * sigma + 1e-9,
+                "p={p}: rate {rate} vs sigma {sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_coverage() {
+        let mut rng = ChaCha8Rng::from_u64_seed(12);
+        for bound in [1u32, 2, 3, 5, 8, 17, 64, 1000] {
+            let u = UniformU32::new(bound);
+            // Coverage is only checked for small bounds, where 4000 draws
+            // make a missed value astronomically unlikely.
+            let mut seen = vec![false; if bound <= 64 { bound as usize } else { 0 }];
+            for _ in 0..4000 {
+                let v = u.sample(|| rng.next_u32());
+                assert!(v < bound, "bound {bound}: got {v}");
+                if (v as usize) < seen.len() {
+                    seen[v as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "bound {bound} missed a value");
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::from_u64_seed(13);
+        let u = UniformU32::new(5);
+        let mut counts = [0u32; 5];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[u.sample(|| rng.next_u32()) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10,000; 6 sigma ≈ ±537.
+            assert!((9_400..10_600).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_zero_bound() {
+        let _ = UniformU32::new(0);
+    }
+
+    #[test]
+    fn alias_uniform_weights_are_uniform() {
+        let mut rng = ChaCha8Rng::from_u64_seed(14);
+        let t = AliasTable::new(&[1.0; 8]);
+        assert_eq!(t.len(), 8);
+        let mut counts = [0u32; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[t.sample(|| rng.next_u32())] += 1;
+        }
+        for &c in &counts {
+            // Expected 10,000; 6 sigma ≈ ±564.
+            assert!((9_400..10_600).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alias_matches_skewed_weights() {
+        let mut rng = ChaCha8Rng::from_u64_seed(15);
+        // A hotspot-shaped distribution: most mass on one outcome.
+        let weights = [0.9, 0.04, 0.03, 0.02, 0.01];
+        let t = AliasTable::new(&weights);
+        let draws = 100_000;
+        let mut counts = [0u32; 5];
+        for _ in 0..draws {
+            counts[t.sample(|| rng.next_u32())] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let rate = counts[i] as f64 / draws as f64;
+            let sigma = (w * (1.0 - w) / draws as f64).sqrt();
+            assert!(
+                (rate - w).abs() < 6.0 * sigma,
+                "outcome {i}: rate {rate} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome_and_degenerate_mass() {
+        let mut rng = ChaCha8Rng::from_u64_seed(16);
+        let single = AliasTable::new(&[3.5]);
+        assert!((0..100).all(|_| single.sample(|| rng.next_u32()) == 0));
+        // All the mass on one of several outcomes.
+        let point = AliasTable::new(&[0.0, 0.0, 7.0, 0.0]);
+        assert!((0..100).all(|_| point.sample(|| rng.next_u32()) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn alias_rejects_zero_mass() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn samplers_are_deterministic() {
+        let b = Bernoulli32::new(0.37);
+        let u = UniformU32::new(12);
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]);
+        let run = || {
+            let mut rng = ChaCha8Rng::from_u64_seed(99);
+            let mut acc = Vec::new();
+            for _ in 0..200 {
+                acc.push((
+                    b.hit(rng.next_u32()),
+                    u.sample(|| rng.next_u32()),
+                    t.sample(|| rng.next_u32()),
+                ));
+            }
+            acc
+        };
+        assert_eq!(run(), run());
+    }
+}

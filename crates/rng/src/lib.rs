@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bulk;
+
 /// Number of `u32` words in a ChaCha block.
 const BLOCK_WORDS: usize = 16;
 

@@ -56,6 +56,8 @@ pub struct CioqSwitch {
     free: Vec<Matching>,
     /// Recycled per-slot batch vectors for the pipeline.
     free_batches: Vec<Vec<Matching>>,
+    /// Per-slot arrival batch, reused across slots.
+    arrivals: Vec<Option<usize>>,
     #[cfg(feature = "telemetry")]
     telemetry: Option<Box<SwitchTelemetry>>,
 }
@@ -101,6 +103,7 @@ impl CioqSwitch {
             free_batches: (0..sched_latency + 2)
                 .map(|_| Vec::with_capacity(speedup))
                 .collect(),
+            arrivals: vec![None; n],
             #[cfg(feature = "telemetry")]
             telemetry: None,
         }
@@ -208,24 +211,25 @@ impl CioqSwitch {
             t.clock.seek(slot);
         }
 
-        // Arrivals and PQ -> VOQ spill (identical to the IQ switch).
-        for input in 0..n {
-            if let Some(dst) = traffic.arrival(slot, input, rng) {
-                stats.on_generated();
-                if !self.pqs[input].push(Packet::new(input, dst, slot)) {
-                    stats.on_drop_pq();
-                }
+        // Arrivals (one per-slot batch) and PQ -> VOQ spill, identical in
+        // behavior to the IQ switch.
+        traffic.arrivals_into(slot, rng, &mut self.arrivals);
+        for (input, dst) in self.arrivals.iter().enumerate() {
+            let Some(dst) = *dst else { continue };
+            stats.on_generated();
+            if !self.pqs[input].push(Packet::new(input, dst, slot)) {
+                stats.on_drop_pq();
             }
         }
-        for input in 0..n {
-            while let Some(head) = self.pqs[input].head() {
-                if !self.voqs[input].has_room_for(head.dst_idx()) {
+        for (pq, voq) in self.pqs.iter_mut().zip(self.voqs.iter_mut()) {
+            while let Some(head) = pq.head() {
+                if !voq.has_room_for(head.dst_idx()) {
                     break;
                 }
-                let Some(p) = self.pqs[input].pop() else {
+                let Some(p) = pq.pop() else {
                     break; // unreachable: `head` returned Some above
                 };
-                let pushed = self.voqs[input].push(p);
+                let pushed = voq.push(p);
                 debug_assert!(pushed);
             }
         }

@@ -51,13 +51,38 @@ impl ModelKind {
 /// The arrival process.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TrafficKind {
-    /// Independent Bernoulli arrivals (the paper's workload).
+    /// Independent Bernoulli arrivals (the paper's workload). The legacy
+    /// generator whose RNG stream the golden trace fixture freezes.
     Bernoulli,
-    /// On-off bursty arrivals with the given mean burst length.
+    /// On-off bursty arrivals with the given mean burst length (legacy
+    /// generator, frozen stream).
     Bursty {
         /// Mean number of back-to-back packets per burst.
         mean_burst: f64,
     },
+    /// Bernoulli arrivals via the word-granularity fast kernels
+    /// ([`crate::traffic::FastBernoulli`]): same distribution as
+    /// [`TrafficKind::Bernoulli`], a different RNG stream, ~4× less RNG
+    /// work — the heavy-traffic workhorse.
+    FastBernoulli,
+    /// On-off bursty arrivals via the fast kernels
+    /// ([`crate::traffic::FastBursty`]): same process as
+    /// [`TrafficKind::Bursty`], different stream.
+    FastBursty {
+        /// Mean number of back-to-back packets per burst.
+        mean_burst: f64,
+    },
+}
+
+impl TrafficKind {
+    /// Whether this is one of the fast word-granularity generators (as
+    /// opposed to the legacy, golden-trace-frozen family).
+    pub fn is_fast(&self) -> bool {
+        matches!(
+            self,
+            TrafficKind::FastBernoulli | TrafficKind::FastBursty { .. }
+        )
+    }
 }
 
 /// Full description of one simulation run.
@@ -155,6 +180,14 @@ impl SimConfig {
         if self.measure_slots == 0 {
             return Err("measure_slots must be positive".into());
         }
+        if let TrafficKind::Bursty { mean_burst } | TrafficKind::FastBursty { mean_burst } =
+            &self.traffic
+        {
+            // NaN must fail too, hence not `< 1.0` alone.
+            if *mean_burst < 1.0 || mean_burst.is_nan() {
+                return Err(format!("mean burst length {mean_burst} must be >= 1"));
+            }
+        }
         if let DestPattern::Permutation(p) = &self.pattern {
             if p.len() != self.n || p.iter().any(|&d| d >= self.n) {
                 return Err("permutation pattern malformed".into());
@@ -182,6 +215,21 @@ mod tests {
         assert_eq!(cfg.outbuf_cap, 256);
         assert_eq!(cfg.iterations, 4);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_keeps_the_legacy_generator() {
+        // The golden trace fixture (`tests/fixtures/golden_trace_n4.jsonl`)
+        // and `golden_determinism_contract` freeze the legacy Bernoulli RNG
+        // stream. Switching `paper_default` to a fast generator would
+        // silently re-bless both — that must be an explicit, reviewed
+        // change, so the default is pinned here.
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.traffic, TrafficKind::Bernoulli);
+        assert!(!cfg.traffic.is_fast());
+        assert!(TrafficKind::FastBernoulli.is_fast());
+        assert!(TrafficKind::FastBursty { mean_burst: 4.0 }.is_fast());
+        assert!(!TrafficKind::Bursty { mean_burst: 4.0 }.is_fast());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct ObSwitch {
     n: usize,
     pqs: Vec<BoundedFifo>,
     outputs: Vec<BoundedFifo>,
+    /// Per-slot arrival batch, reused across slots.
+    arrivals: Vec<Option<usize>>,
 }
 
 impl ObSwitch {
@@ -40,6 +42,7 @@ impl ObSwitch {
             n,
             pqs: (0..n).map(|_| BoundedFifo::new(pq_cap)).collect(),
             outputs: (0..n).map(|_| BoundedFifo::new(outbuf_cap)).collect(),
+            arrivals: vec![None; n],
         }
     }
 
@@ -64,13 +67,13 @@ impl ObSwitch {
     ) {
         let n = self.n;
 
-        // 1. Arrivals.
-        for input in 0..n {
-            if let Some(dst) = traffic.arrival(slot, input, rng) {
-                stats.on_generated();
-                if !self.pqs[input].push(Packet::new(input, dst, slot)) {
-                    stats.on_drop_pq();
-                }
+        // 1. Arrivals, taken as one per-slot batch from the generator.
+        traffic.arrivals_into(slot, rng, &mut self.arrivals);
+        for (input, dst) in self.arrivals.iter().enumerate() {
+            let Some(dst) = *dst else { continue };
+            stats.on_generated();
+            if !self.pqs[input].push(Packet::new(input, dst, slot)) {
+                stats.on_drop_pq();
             }
         }
 

@@ -5,7 +5,7 @@ use crate::model::{drive, DriveOptions, SwitchModel};
 use crate::outbuf::ObSwitch;
 use crate::stats::SimStats;
 use crate::switch::{IqSwitch, QueueMode};
-use crate::traffic::{Bernoulli, OnOffBursty, Traffic};
+use crate::traffic::{Bernoulli, FastBernoulli, FastBursty, OnOffBursty, Traffic};
 use lcf_core::registry::SchedulerKind;
 use rand::SeedableRng;
 
@@ -108,6 +108,15 @@ fn build_traffic(cfg: &SimConfig) -> Box<dyn Traffic> {
     match &cfg.traffic {
         TrafficKind::Bernoulli => Box::new(Bernoulli::new(cfg.n, cfg.load, cfg.pattern.clone())),
         TrafficKind::Bursty { mean_burst } => Box::new(OnOffBursty::new(
+            cfg.n,
+            cfg.load,
+            *mean_burst,
+            cfg.pattern.clone(),
+        )),
+        TrafficKind::FastBernoulli => {
+            Box::new(FastBernoulli::new(cfg.n, cfg.load, cfg.pattern.clone()))
+        }
+        TrafficKind::FastBursty { mean_burst } => Box::new(FastBursty::new(
             cfg.n,
             cfg.load,
             *mean_burst,
@@ -350,6 +359,155 @@ pub fn sweep(configs: &[SimConfig]) -> Vec<SimReport> {
     reports
 }
 
+/// Two-sided 95% Student-t critical values for 1..=30 degrees of freedom;
+/// beyond that the normal approximation (1.96) is within 0.9%.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T95[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// Sample mean with a 95% confidence interval across replications.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean across replications.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 divisor) across replications.
+    pub std_dev: f64,
+    /// 95% confidence half-width `t₀.₀₂₅,R₋₁ · s / √R`. Infinite for a
+    /// single replication (one sample pins no interval).
+    pub half_width: f64,
+}
+
+impl MeanCi {
+    fn from_samples(samples: &[f64]) -> MeanCi {
+        let mut w = crate::stats::Welford::new();
+        for &x in samples {
+            w.add(x);
+        }
+        let r = samples.len();
+        let half_width = if r < 2 {
+            f64::INFINITY
+        } else {
+            t95(r - 1) * w.std_dev() / (r as f64).sqrt()
+        };
+        MeanCi {
+            mean: w.mean(),
+            std_dev: w.std_dev(),
+            half_width,
+        }
+    }
+
+    /// Lower edge of the 95% interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper edge of the 95% interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the two 95% intervals overlap — the coarse statistical
+    /// equivalence check used by the fast-vs-legacy generator tests.
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+/// Aggregate of `R` independent replications of one configuration
+/// (same parameters, per-replicate seeds derived from the base seed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicatedReport {
+    /// Fig. 12 legend name of the model simulated.
+    pub model: String,
+    /// Offered load of every replication.
+    pub load: f64,
+    /// Number of switch ports.
+    pub n: usize,
+    /// Number of independent replications run.
+    pub replications: usize,
+    /// Measurement slots per replication.
+    pub slots_per_replication: u64,
+    /// Base seed the per-replicate seeds were derived from.
+    pub base_seed: u64,
+    /// Mean queueing delay in slots.
+    pub mean_latency: MeanCi,
+    /// 99th-percentile queueing delay (mean of per-replicate p99s).
+    pub p99_latency: MeanCi,
+    /// Delivered throughput as a fraction of aggregate link capacity.
+    pub throughput: MeanCi,
+    /// Time-average packets resident in the switch, via Little's law
+    /// (`L = λ·W` with λ the delivered rate in packets/slot).
+    pub mean_queue_len: MeanCi,
+    /// Fraction of generated packets dropped.
+    pub loss_rate: MeanCi,
+    /// The per-replicate reports, in replicate order (replicate 0 uses the
+    /// base seed itself, so it reproduces `run_sim(cfg)` exactly).
+    pub reports: Vec<SimReport>,
+}
+
+/// Seed for replicate `index` of a base seed: the golden-ratio Weyl step
+/// keeps the raw seeds distinct (odd multiplier ⇒ injective mod 2⁶⁴), and
+/// [`SimRng`]'s SplitMix64 key expansion decorrelates the streams.
+/// Replicate 0 is the base seed itself.
+pub fn replicate_seed(base: u64, index: usize) -> u64 {
+    base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `replications` independent copies of `cfg` — identical parameters,
+/// per-replicate seeds from [`replicate_seed`] — across the same scoped
+/// thread pool as [`try_sweep`], and merges them into mean / 95% CI
+/// estimates. Deterministic given `(cfg.seed, replications)`: growing `R`
+/// appends replicates without changing earlier ones.
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`], if
+/// `replications == 0`, or if any replicate panics.
+pub fn run_replicated(cfg: &SimConfig, replications: usize) -> ReplicatedReport {
+    // lint:allow(no-panic): documented preconditions (# Panics above)
+    assert!(replications > 0, "replications must be positive");
+    // lint:allow(no-panic): documented precondition (# Panics above)
+    cfg.validate().expect("invalid simulation config");
+    let reports: Vec<SimReport> = parallel_indexed(replications, |idx| {
+        let rep_cfg = SimConfig {
+            seed: replicate_seed(cfg.seed, idx),
+            ..cfg.clone()
+        };
+        run_sim(&rep_cfg)
+    })
+    .into_iter()
+    // lint:allow(no-panic): a panicking replicate is unrecoverable (# Panics above)
+    .map(|outcome| outcome.unwrap_or_else(|e| panic!("replication panicked: {e}")))
+    .collect();
+
+    let metric = |f: &dyn Fn(&SimReport) -> f64| {
+        MeanCi::from_samples(&reports.iter().map(f).collect::<Vec<f64>>())
+    };
+    ReplicatedReport {
+        model: cfg.model.name().to_string(),
+        load: cfg.load,
+        n: cfg.n,
+        replications,
+        slots_per_replication: cfg.measure_slots,
+        base_seed: cfg.seed,
+        mean_latency: metric(&|r| r.mean_latency_slots),
+        p99_latency: metric(&|r| r.p99_latency as f64),
+        throughput: metric(&|r| r.throughput),
+        mean_queue_len: metric(&|r| r.delivered as f64 / r.slots as f64 * r.mean_latency_slots),
+        loss_rate: metric(&|r| r.loss_rate()),
+        reports,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,5 +719,136 @@ mod tests {
         let mut cfg = quick_cfg(ModelKind::OutputBuffered, 0.5);
         cfg.load = 2.0;
         let _ = run_sim(&cfg);
+    }
+
+    #[test]
+    fn fast_traffic_kinds_run() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.6);
+        cfg.traffic = TrafficKind::FastBernoulli;
+        let r = run_sim(&cfg);
+        assert!(r.throughput > 0.5 && r.throughput < 0.7, "{}", r.throughput);
+
+        cfg.traffic = TrafficKind::FastBursty { mean_burst: 8.0 };
+        let bursty = run_sim(&cfg);
+        assert!(bursty.delivered > 0);
+        assert!(
+            bursty.mean_latency() > r.mean_latency(),
+            "bursts must hurt latency at equal load"
+        );
+    }
+
+    #[test]
+    fn replicate_seeds_are_distinct_and_anchored() {
+        let base = 0xABCD_EF01;
+        assert_eq!(replicate_seed(base, 0), base, "replicate 0 is the base run");
+        let seeds: std::collections::HashSet<u64> =
+            (0..64).map(|i| replicate_seed(base, i)).collect();
+        assert_eq!(seeds.len(), 64, "per-replicate seeds must not collide");
+    }
+
+    #[test]
+    fn run_replicated_is_deterministic_and_anchored() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.7);
+        cfg.measure_slots = 5_000;
+        cfg.traffic = TrafficKind::FastBernoulli;
+        let a = run_replicated(&cfg, 4);
+        let b = run_replicated(&cfg, 4);
+        assert_eq!(a, b, "same (seed, R) must reproduce bit-identically");
+        assert_eq!(a.replications, 4);
+        assert_eq!(a.reports.len(), 4);
+        assert_eq!(
+            a.reports[0],
+            run_sim(&cfg),
+            "replicate 0 runs the base seed"
+        );
+        // Growing R appends replicates without disturbing earlier ones.
+        let c = run_replicated(&cfg, 6);
+        assert_eq!(&c.reports[..4], &a.reports[..]);
+    }
+
+    #[test]
+    fn replication_cis_shrink_with_r() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::Islip), 0.8);
+        cfg.measure_slots = 4_000;
+        cfg.warmup_slots = 1_000;
+        cfg.traffic = TrafficKind::FastBernoulli;
+        let single = run_replicated(&cfg, 1);
+        assert!(
+            single.mean_latency.half_width.is_infinite(),
+            "one sample pins no interval"
+        );
+        let small = run_replicated(&cfg, 4);
+        let large = run_replicated(&cfg, 24);
+        assert!(
+            large.mean_latency.half_width < small.mean_latency.half_width,
+            "CI must shrink: R=4 ±{} vs R=24 ±{}",
+            small.mean_latency.half_width,
+            large.mean_latency.half_width
+        );
+        assert!(large.mean_latency.half_width.is_finite());
+        assert!(large.mean_latency.half_width > 0.0);
+        // The interval brackets the point estimate.
+        assert!(large.mean_latency.lo() < large.mean_latency.mean);
+        assert!(large.mean_latency.hi() > large.mean_latency.mean);
+    }
+
+    #[test]
+    fn fast_bernoulli_statistically_equivalent_to_legacy() {
+        // The satellite contract: at n = 16 the fast generator's delay and
+        // throughput estimates agree with the legacy generator's within
+        // replication confidence intervals — same process, different RNG
+        // stream.
+        let cfg = SimConfig {
+            model: ModelKind::Scheduler(SchedulerKind::LcfCentral),
+            load: 0.7,
+            warmup_slots: 1_000,
+            measure_slots: 8_000,
+            ..SimConfig::paper_default()
+        };
+        assert_eq!(cfg.n, 16);
+        let legacy = run_replicated(&cfg, 6);
+        let fast = run_replicated(
+            &SimConfig {
+                traffic: TrafficKind::FastBernoulli,
+                ..cfg
+            },
+            6,
+        );
+        assert!(
+            legacy.mean_latency.overlaps(&fast.mean_latency),
+            "latency CIs disjoint: legacy {:?} vs fast {:?}",
+            legacy.mean_latency,
+            fast.mean_latency
+        );
+        assert!(
+            legacy.throughput.overlaps(&fast.throughput),
+            "throughput CIs disjoint: legacy {:?} vs fast {:?}",
+            legacy.throughput,
+            fast.throughput
+        );
+        // Both estimate the configured offered load (stable regime, no loss).
+        for rep in [&legacy, &fast] {
+            assert!(
+                (rep.throughput.mean - 0.7).abs() < 0.01,
+                "throughput {} off offered load",
+                rep.throughput.mean
+            );
+            assert_eq!(rep.loss_rate.mean, 0.0);
+        }
+    }
+
+    #[test]
+    fn little_law_queue_length_is_consistent() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.9);
+        cfg.traffic = TrafficKind::FastBernoulli;
+        let rep = run_replicated(&cfg, 3);
+        // L = λ·W with λ ≈ n·load packets/slot switch-wide.
+        let expected = cfg.n as f64 * cfg.load * rep.mean_latency.mean;
+        assert!(
+            (rep.mean_queue_len.mean - expected).abs() / expected.max(1.0) < 0.1,
+            "queue length {} vs Little's-law {}",
+            rep.mean_queue_len.mean,
+            expected
+        );
     }
 }

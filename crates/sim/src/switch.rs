@@ -110,6 +110,9 @@ pub struct IqSwitch {
     inputs: InputQueues,
     requests: RequestMatrix,
     last_matching: Matching,
+    /// Per-slot arrival batch, reused across slots (hot-path memory
+    /// contract: no per-slot allocation).
+    arrivals: Vec<Option<usize>>,
     #[cfg(feature = "telemetry")]
     telemetry: Option<Box<SwitchTelemetry>>,
 }
@@ -176,6 +179,7 @@ impl IqSwitch {
             inputs,
             requests: RequestMatrix::new(n),
             last_matching: Matching::new(n),
+            arrivals: vec![None; n],
             #[cfg(feature = "telemetry")]
             telemetry: None,
         }
@@ -302,52 +306,82 @@ impl IqSwitch {
         stats: &mut SimStats,
     ) -> &Matching {
         let n = self.n;
+        // One telemetry probe for the whole arrival stage (per-slot-branch
+        // contract): the `Option` is resolved here once; the per-input loop
+        // below never re-probes it. In non-telemetry builds this compiles
+        // away entirely.
         #[cfg(feature = "telemetry")]
-        if let Some(t) = self.telemetry.as_deref_mut() {
+        let mut tel = self.telemetry.as_deref_mut();
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = tel.as_deref_mut() {
             t.clock.seek(slot);
         }
 
-        // 1. Arrivals into the PQs.
-        for input in 0..n {
-            if let Some(dst) = traffic.arrival(slot, input, rng) {
-                stats.on_generated();
+        // 1. Arrivals into the PQs, taken as one per-slot batch from the
+        //    generator (one virtual call instead of n).
+        traffic.arrivals_into(slot, rng, &mut self.arrivals);
+        let mut generated: u64 = 0;
+        let mut dropped: u64 = 0;
+        for (input, dst) in self.arrivals.iter().enumerate() {
+            let Some(dst) = *dst else { continue };
+            generated += 1;
+            stats.on_generated();
+            if !self.pqs[input].push(Packet::new(input, dst, slot)) {
+                dropped += 1;
+                stats.on_drop_pq();
                 #[cfg(feature = "telemetry")]
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.metrics.counter_inc("sim.generated");
-                }
-                if !self.pqs[input].push(Packet::new(input, dst, slot)) {
-                    stats.on_drop_pq();
-                    #[cfg(feature = "telemetry")]
-                    if let Some(t) = self.telemetry.as_deref_mut() {
-                        t.metrics.counter_inc("sim.dropped_pq");
-                        t.trace.push(
-                            Event::new(t.clock.slot(), "drop_pq")
-                                .field("input", input)
-                                .field("dst", dst),
-                        );
-                    }
+                if let Some(t) = tel.as_deref_mut() {
+                    t.trace.push(
+                        Event::new(t.clock.slot(), "drop_pq")
+                            .field("input", input)
+                            .field("dst", dst),
+                    );
                 }
             }
         }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (generated, dropped);
+        // Counter totals are identical to the old per-arrival increments;
+        // the lazily created counters also keep their "only exists if it
+        // ever fired" semantics via the > 0 guards.
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = tel.as_deref_mut() {
+            if generated > 0 {
+                t.metrics.counter_add("sim.generated", generated);
+            }
+            if dropped > 0 {
+                t.metrics.counter_add("sim.dropped_pq", dropped);
+            }
+        }
 
-        // 2. Spill PQ -> input buffers, head-first while space permits.
-        for input in 0..n {
-            while let Some(head) = self.pqs[input].head() {
-                let fits = match &self.inputs {
-                    InputQueues::Voq(v) => v[input].has_room_for(head.dst_idx()),
-                    InputQueues::Fifo(f) => !f[input].is_full(),
-                };
-                if !fits {
-                    break;
+        // 2. Spill PQ -> input buffers, head-first while space permits. The
+        //    queue-mode match is hoisted out of the loop, and inputs with an
+        //    empty PQ skip the scan entirely.
+        match &mut self.inputs {
+            InputQueues::Voq(v) => {
+                for (pq, set) in self.pqs.iter_mut().zip(v.iter_mut()) {
+                    while let Some(head) = pq.head() {
+                        if !set.has_room_for(head.dst_idx()) {
+                            break;
+                        }
+                        let Some(p) = pq.pop() else {
+                            break; // unreachable: `head` returned Some above
+                        };
+                        let pushed = set.push(p);
+                        debug_assert!(pushed, "room was checked before the pop");
+                    }
                 }
-                let Some(p) = self.pqs[input].pop() else {
-                    break; // unreachable: `head` returned Some above
-                };
-                let pushed = match &mut self.inputs {
-                    InputQueues::Voq(v) => v[input].push(p),
-                    InputQueues::Fifo(f) => f[input].push(p),
-                };
-                debug_assert!(pushed, "room was checked before the pop");
+            }
+            InputQueues::Fifo(f) => {
+                for (pq, fifo) in self.pqs.iter_mut().zip(f.iter_mut()) {
+                    while !pq.is_empty() && !fifo.is_full() {
+                        let Some(p) = pq.pop() else {
+                            break; // unreachable: emptiness was checked above
+                        };
+                        let pushed = fifo.push(p);
+                        debug_assert!(pushed, "room was checked before the pop");
+                    }
+                }
             }
         }
 

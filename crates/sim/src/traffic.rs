@@ -5,7 +5,48 @@
 //! a packet in a given time slot. The destinations of the packets are
 //! uniformly distributed."). The additional patterns and the bursty on-off
 //! process support the extension experiments (EXT-3, EXT-6).
+//!
+//! # Generator families and RNG streams
+//!
+//! Two families produce the same *distributions* from different RNG
+//! streams:
+//!
+//! * **Legacy** ([`Bernoulli`], [`OnOffBursty`]): the original `gen_bool` /
+//!   `gen_range` path. These are the [`paper_default`] generators — their
+//!   exact RNG streams are frozen by the golden trace fixture and the
+//!   determinism-contract tests, so they must never change.
+//! * **Fast** ([`FastBernoulli`], [`FastBursty`]): word-granularity kernels
+//!   from [`lcf_rng::bulk`] — a fixed-point threshold compare per arrival
+//!   decision and precomputed alias/partition tables for destinations. Same
+//!   distributions (statistically indistinguishable at any feasible
+//!   horizon; quantization is 2⁻³²), different stream, ~4× less RNG work —
+//!   and for power-of-two `n` with uniform destinations the gate and the
+//!   destination fuse into a single keystream word per `(slot, input)`
+//!   (see [`FastBernoulli`]).
+//!
+//! [`paper_default`]: ../config/struct.SimConfig.html#method.paper_default
+//!
+//! # RNG draws per `(slot, input)` — legacy family
+//!
+//! Each `gen_bool` and each `gen_range` consumes one `next_u64` (two
+//! keystream words; `gen_range(0..2^k)` also consumes one — the
+//! power-of-two mask path). Per generated packet, [`DestPattern::sample`]
+//! draws:
+//!
+//! * `Uniform` / `UniformNonSelf` — 1 draw (`UniformNonSelf` with `n = 1`:
+//!   0 draws).
+//! * `Hotspot` — 1 draw for the hot/cold decision, plus 1 for the cold
+//!   destination; with `n = 1` exactly 1 draw (the hot/cold decision is
+//!   skipped — it could only ever return the hot port).
+//! * `Diagonal` — 1 draw.
+//! * `Permutation` — 0 draws.
+//!
+//! [`Bernoulli`] draws 1 per `(slot, input)` for the arrival decision plus
+//! the pattern draws per packet. [`OnOffBursty`] draws 1 in an OFF slot
+//! (burst start?), plus pattern draws and 1 more (burst length ≥ 2?) when a
+//! burst starts, and 1 in an ON slot (burst end?).
 
+use lcf_rng::bulk::{AliasTable, Bernoulli32, UniformU32};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -52,7 +93,11 @@ impl DestPattern {
                 }
             }
             DestPattern::Hotspot { hot, fraction } => {
-                if rng.gen_bool(*fraction) || n == 1 {
+                // `n == 1` is checked first so the degenerate case draws
+                // nothing: every packet targets the hot (only) port either
+                // way, and consuming a draw would needlessly couple the RNG
+                // stream to the hot/cold decision.
+                if n == 1 || rng.gen_bool(*fraction) {
                     *hot
                 } else {
                     let d = rng.gen_range(0..n - 1);
@@ -84,6 +129,24 @@ pub trait Traffic {
     /// is generated. Called exactly once per `(slot, input)` pair, inputs in
     /// ascending order.
     fn arrival(&mut self, slot: u64, input: usize, rng: &mut StdRng) -> Option<usize>;
+
+    /// Writes one slot's arrivals for all inputs into `out` (`out[input]`
+    /// is the new packet's destination, if any). One virtual call per slot
+    /// instead of `n` — the slot loop's batch entry point.
+    ///
+    /// The default implementation delegates to [`Traffic::arrival`] input
+    /// by input, so every legacy generator consumes its RNG stream exactly
+    /// as before (the golden-trace contract). Fast generators override
+    /// this with a monomorphic loop.
+    ///
+    /// # Panics
+    /// Implementations may assume and assert `out.len() == self.n()`.
+    fn arrivals_into(&mut self, slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
+        debug_assert_eq!(out.len(), self.n());
+        for (input, slot_out) in out.iter_mut().enumerate() {
+            *slot_out = self.arrival(slot, input, rng);
+        }
+    }
 }
 
 /// Independent Bernoulli arrivals of rate `load` per input per slot.
@@ -192,6 +255,271 @@ impl Traffic for OnOffBursty {
                 }
                 Some(dst)
             }
+        }
+    }
+}
+
+/// A destination sampler compiled from a [`DestPattern`]: all division and
+/// branching hoisted to construction, one or two keystream words per packet.
+///
+/// The sampled distribution matches [`DestPattern::sample`] exactly (up to
+/// the 2⁻³² fixed-point quantization of the bulk kernels); only the RNG
+/// stream differs.
+#[derive(Clone, Debug)]
+enum FastDest {
+    /// Uniform over `0..n`: one bounded draw.
+    Uniform(UniformU32),
+    /// Uniform over `0..n-1`, shifted past the excluded port when the
+    /// excluded port is below the draw. `None` bound means `n == 1`.
+    NonSelf(Option<UniformU32>),
+    /// Hot port with the configured fraction, uniform elsewhere — one alias
+    /// table draw (two words).
+    Hotspot(AliasTable),
+    /// `input` with probability 2/3 else `input + 1 (mod n)`: one
+    /// fixed-point threshold word.
+    Diagonal(Bernoulli32),
+    /// Fixed map, zero words.
+    Permutation(Vec<usize>),
+}
+
+impl FastDest {
+    fn compile(n: usize, pattern: &DestPattern) -> Self {
+        match pattern {
+            // lint:allow(truncating-cast): port counts fit u32 by construction
+            DestPattern::Uniform => FastDest::Uniform(UniformU32::new(n as u32)),
+            DestPattern::UniformNonSelf => FastDest::NonSelf(if n == 1 {
+                None
+            } else {
+                // lint:allow(truncating-cast): port counts fit u32 by construction
+                Some(UniformU32::new(n as u32 - 1))
+            }),
+            DestPattern::Hotspot { hot, fraction } => {
+                assert!(*hot < n, "hot port out of range");
+                assert!(
+                    (0.0..=1.0).contains(fraction),
+                    "hotspot fraction must be in [0,1]"
+                );
+                // Same distribution as the legacy two-stage draw: `fraction`
+                // on the hot port, the remainder uniform over the others.
+                let mut weights = vec![
+                    if n == 1 {
+                        0.0
+                    } else {
+                        (1.0 - fraction) / (n - 1) as f64
+                    };
+                    n
+                ];
+                weights[*hot] = if n == 1 { 1.0 } else { *fraction };
+                FastDest::Hotspot(AliasTable::new(&weights))
+            }
+            DestPattern::Diagonal => FastDest::Diagonal(Bernoulli32::new(2.0 / 3.0)),
+            DestPattern::Permutation(perm) => FastDest::Permutation(perm.clone()),
+        }
+    }
+
+    #[inline]
+    fn sample(&self, n: usize, input: usize, rng: &mut StdRng) -> usize {
+        match self {
+            FastDest::Uniform(u) => u.sample(|| rng.next_u32()) as usize,
+            FastDest::NonSelf(u) => match u {
+                None => 0,
+                Some(u) => {
+                    let d = u.sample(|| rng.next_u32()) as usize;
+                    if d >= input {
+                        d + 1
+                    } else {
+                        d
+                    }
+                }
+            },
+            FastDest::Hotspot(t) => t.sample(|| rng.next_u32()),
+            FastDest::Diagonal(b) => {
+                if b.hit(rng.next_u32()) {
+                    input % n
+                } else {
+                    (input + 1) % n
+                }
+            }
+            FastDest::Permutation(perm) => perm[input],
+        }
+    }
+}
+
+/// Independent Bernoulli arrivals via the word-granularity fast path: the
+/// same arrival and destination distributions as [`Bernoulli`], a different
+/// (still deterministic, seed-reproducible) RNG stream.
+///
+/// Per `(slot, input)`: one keystream word for the arrival decision, plus
+/// the [`FastDest`] words per generated packet — about a quarter of the
+/// legacy path's RNG traffic at high load, with no f64 arithmetic or
+/// division anywhere. For power-of-two `n` with uniform destinations (the
+/// paper's Fig. 12 workload) the gate and the destination fuse into a
+/// *single* word per `(slot, input)`: the gate threshold is rounded to the
+/// nearest multiple of `n`, so the accepted words `[0, threshold)` contain
+/// `threshold / n` complete runs of every low-bit pattern — the low
+/// `log2(n)` bits of an accepted word are exactly uniform over `0..n` and
+/// independent of the gate decision. Rounding moves the load by at most
+/// `n·2⁻³³` (< 4·10⁻⁹ at n = 32), far below sampling noise at any feasible
+/// horizon.
+#[derive(Clone, Debug)]
+pub struct FastBernoulli {
+    n: usize,
+    kernel: FastArrival,
+}
+
+/// The compiled per-input arrival kernel of [`FastBernoulli`].
+#[derive(Clone, Debug)]
+enum FastArrival {
+    /// One gate word, plus destination words per generated packet.
+    Split { gate: Bernoulli32, dest: FastDest },
+    /// One word total: `word < threshold` gates the arrival and
+    /// `word & mask` is the destination (`threshold` is a multiple of
+    /// `mask + 1`, which keeps both distributions exact — see the type
+    /// docs). `always` covers load 1.0, where every word is accepted and
+    /// the low bits are trivially uniform.
+    FusedUniform {
+        threshold: u32,
+        always: bool,
+        mask: u32,
+    },
+}
+
+impl FastBernoulli {
+    /// Creates the process; `load` is the per-slot generation probability.
+    pub fn new(n: usize, load: f64, pattern: DestPattern) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        let gate = Bernoulli32::new(load);
+        let kernel = if n.is_power_of_two() && pattern == DestPattern::Uniform {
+            let n64 = n as u64;
+            // Nearest multiple of n; clamp below 2³² (the u32 compare must
+            // stay meaningful — `always` alone covers load 1.0).
+            let rounded = ((gate.threshold() as u64 + n64 / 2) / n64 * n64).min((1 << 32) - n64);
+            FastArrival::FusedUniform {
+                // lint:allow(truncating-cast): clamped below 2^32 above
+                threshold: rounded as u32,
+                always: gate.is_always(),
+                // lint:allow(truncating-cast): port counts fit u32 by construction
+                mask: n as u32 - 1,
+            }
+        } else {
+            FastArrival::Split {
+                gate,
+                dest: FastDest::compile(n, &pattern),
+            }
+        };
+        FastBernoulli { n, kernel }
+    }
+}
+
+impl Traffic for FastBernoulli {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        match &self.kernel {
+            FastArrival::Split { gate, dest } => gate
+                .hit(rng.next_u32())
+                .then(|| dest.sample(self.n, input, rng)),
+            FastArrival::FusedUniform {
+                threshold,
+                always,
+                mask,
+            } => {
+                let w = rng.next_u32();
+                (*always || w < *threshold).then(|| (w & mask) as usize)
+            }
+        }
+    }
+
+    fn arrivals_into(&mut self, _slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
+        assert_eq!(out.len(), self.n);
+        match &self.kernel {
+            FastArrival::Split { gate, dest } => {
+                for (input, slot_out) in out.iter_mut().enumerate() {
+                    *slot_out = gate
+                        .hit(rng.next_u32())
+                        .then(|| dest.sample(self.n, input, rng));
+                }
+            }
+            FastArrival::FusedUniform {
+                threshold,
+                always,
+                mask,
+            } => {
+                for slot_out in out.iter_mut() {
+                    let w = rng.next_u32();
+                    *slot_out = (*always || w < *threshold).then(|| (w & mask) as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Bursty on-off arrivals via the word-granularity fast path: the same
+/// burst/gap process as [`OnOffBursty`] (geometric burst and gap lengths,
+/// long-run load `load`), a different RNG stream.
+#[derive(Clone, Debug)]
+pub struct FastBursty {
+    n: usize,
+    start: Bernoulli32,
+    end: Bernoulli32,
+    dest: FastDest,
+    state: Vec<BurstState>,
+}
+
+impl FastBursty {
+    /// Creates the process with mean burst length `mean_burst` packets.
+    pub fn new(n: usize, load: f64, mean_burst: f64, pattern: DestPattern) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        assert!(mean_burst >= 1.0, "mean burst length must be >= 1");
+        let p_end = 1.0 / mean_burst;
+        let p_start = if load >= 1.0 {
+            1.0
+        } else {
+            (p_end * load / (1.0 - load)).min(1.0)
+        };
+        FastBursty {
+            n,
+            start: Bernoulli32::new(p_start),
+            end: Bernoulli32::new(p_end),
+            dest: FastDest::compile(n, &pattern),
+            state: vec![BurstState::Off; n],
+        }
+    }
+}
+
+impl Traffic for FastBursty {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        match self.state[input] {
+            BurstState::Off => {
+                if self.start.hit(rng.next_u32()) {
+                    let dst = self.dest.sample(self.n, input, rng);
+                    if !self.end.hit(rng.next_u32()) {
+                        self.state[input] = BurstState::On { dst };
+                    }
+                    Some(dst)
+                } else {
+                    None
+                }
+            }
+            BurstState::On { dst } => {
+                if self.end.hit(rng.next_u32()) {
+                    self.state[input] = BurstState::Off;
+                }
+                Some(dst)
+            }
+        }
+    }
+
+    fn arrivals_into(&mut self, slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
+        assert_eq!(out.len(), self.n);
+        for (input, slot_out) in out.iter_mut().enumerate() {
+            *slot_out = self.arrival(slot, input, rng);
         }
     }
 }
@@ -337,5 +665,231 @@ mod tests {
     #[should_panic(expected = "load must be in [0,1]")]
     fn invalid_load_panics() {
         let _ = Bernoulli::new(4, 1.5, DestPattern::Uniform);
+    }
+
+    #[test]
+    fn hotspot_single_port_draws_nothing() {
+        // The degenerate n == 1 case must not consume a draw: two RNGs, one
+        // used for a sample, must stay stream-identical.
+        let mut a = rng();
+        let mut b = rng();
+        let pat = DestPattern::Hotspot {
+            hot: 0,
+            fraction: 0.5,
+        };
+        assert_eq!(pat.sample(1, 0, &mut a), 0);
+        assert_eq!(a, b, "degenerate hotspot consumed an RNG draw");
+        let _ = b.next_u32();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn default_arrivals_into_matches_per_input_calls() {
+        // The batch entry point must consume the RNG stream exactly like n
+        // per-input calls, or the golden trace would silently shift.
+        let mut batch_rng = rng();
+        let mut single_rng = rng();
+        let mut batch_gen = Bernoulli::new(8, 0.7, DestPattern::Uniform);
+        let mut single_gen = batch_gen.clone();
+        let mut batch = [None; 8];
+        for slot in 0..200 {
+            batch_gen.arrivals_into(slot, &mut batch_rng, &mut batch);
+            for (input, &got) in batch.iter().enumerate() {
+                assert_eq!(got, single_gen.arrival(slot, input, &mut single_rng));
+            }
+        }
+        assert_eq!(batch_rng, single_rng);
+    }
+
+    #[test]
+    fn fast_bernoulli_rate_across_loads() {
+        for load in [0.01, 0.5, 0.99, 0.995] {
+            let mut r = rng();
+            let mut t = FastBernoulli::new(4, load, DestPattern::Uniform);
+            let slots = 100_000u64;
+            let hits = (0..slots)
+                .filter(|&slot| t.arrival(slot, 1, &mut r).is_some())
+                .count() as f64;
+            let rate = hits / slots as f64;
+            let sigma = (load * (1.0 - load) / slots as f64).sqrt();
+            assert!(
+                (rate - load).abs() < 6.0 * sigma + 1e-9,
+                "load {load}: rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_dest_patterns_match_legacy_distributions() {
+        let n = 8;
+        let draws = 40_000u64;
+        // Hotspot: the hot port's rate must equal the configured fraction.
+        let mut r = rng();
+        let mut t = FastBernoulli::new(
+            n,
+            1.0,
+            DestPattern::Hotspot {
+                hot: 3,
+                fraction: 0.5,
+            },
+        );
+        let hot_hits = (0..draws)
+            .filter(|&s| t.arrival(s, 0, &mut r) == Some(3))
+            .count() as f64;
+        let frac = hot_hits / draws as f64;
+        assert!((0.48..0.52).contains(&frac), "hot fraction was {frac}");
+
+        // NonSelf never targets the input's own port.
+        let mut t = FastBernoulli::new(n, 1.0, DestPattern::UniformNonSelf);
+        for input in 0..n {
+            for slot in 0..200 {
+                assert_ne!(t.arrival(slot, input, &mut r), Some(input));
+            }
+        }
+
+        // Diagonal: only i and i+1, with the 2/3 : 1/3 split.
+        let mut t = FastBernoulli::new(n, 1.0, DestPattern::Diagonal);
+        let mut on_diag = 0u64;
+        for slot in 0..draws {
+            let d = t.arrival(slot, 5, &mut r).unwrap();
+            assert!(d == 5 || d == 6);
+            if d == 5 {
+                on_diag += 1;
+            }
+        }
+        let frac = on_diag as f64 / draws as f64;
+        assert!((0.65..0.69).contains(&frac), "diagonal split was {frac}");
+
+        // Permutation: deterministic, no RNG consumption for the destination.
+        let mut t = FastBernoulli::new(4, 1.0, DestPattern::Permutation(vec![2, 0, 3, 1]));
+        assert_eq!(t.arrival(0, 0, &mut r), Some(2));
+        assert_eq!(t.arrival(0, 3, &mut r), Some(1));
+
+        // Uniform covers every output.
+        let mut t = FastBernoulli::new(n, 1.0, DestPattern::Uniform);
+        let mut seen = [false; 8];
+        for slot in 0..2000 {
+            seen[t.arrival(slot, 0, &mut r).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fast_bursty_rate_and_burst_structure() {
+        let mut r = rng();
+        let mut t = FastBursty::new(4, 0.4, 8.0, DestPattern::Uniform);
+        let slots = 100_000u64;
+        let mut arrivals = 0u64;
+        let (mut pairs, mut same) = (0u64, 0u64);
+        let mut last: Option<usize> = None;
+        for slot in 0..slots {
+            match t.arrival(slot, 0, &mut r) {
+                Some(d) => {
+                    arrivals += 1;
+                    if let Some(prev) = last {
+                        pairs += 1;
+                        if prev == d {
+                            same += 1;
+                        }
+                    }
+                    last = Some(d);
+                }
+                None => last = None,
+            }
+        }
+        let rate = arrivals as f64 / slots as f64;
+        assert!((0.36..0.44).contains(&rate), "rate was {rate}");
+        let frac = same as f64 / pairs as f64;
+        assert!(frac > 0.8, "bursts not correlated: {frac}");
+    }
+
+    #[test]
+    fn fused_uniform_rate_and_destination_uniformity() {
+        // Power-of-two n + Uniform takes the fused single-word kernel; the
+        // arrival rate and the conditional destination distribution must
+        // both survive the threshold rounding.
+        let n = 32usize;
+        let load = 0.99;
+        let mut r = rng();
+        let mut t = FastBernoulli::new(n, load, DestPattern::Uniform);
+        let mut out = vec![None; n];
+        let slots = 50_000u64;
+        let mut counts = vec![0u64; n];
+        let mut arrivals = 0u64;
+        for slot in 0..slots {
+            t.arrivals_into(slot, &mut r, &mut out);
+            for d in out.iter().flatten() {
+                counts[*d] += 1;
+                arrivals += 1;
+            }
+        }
+        let draws = slots * n as u64;
+        let rate = arrivals as f64 / draws as f64;
+        let sigma = (load * (1.0 - load) / draws as f64).sqrt();
+        assert!((rate - load).abs() < 6.0 * sigma, "rate was {rate}");
+        // Each destination expects arrivals/n; allow 6σ of binomial noise.
+        let expect = arrivals as f64 / n as f64;
+        let dest_sigma = (arrivals as f64 * (1.0 / n as f64) * (1.0 - 1.0 / n as f64)).sqrt();
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * dest_sigma,
+                "dest {d}: {c} vs expected {expect:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_uniform_consumes_one_word_per_input() {
+        // The whole point of the fusion: exactly n keystream words per slot,
+        // regardless of how many arrivals the slot produces.
+        let n = 16usize;
+        let mut a = rng();
+        let mut b = rng();
+        let mut t = FastBernoulli::new(n, 0.99, DestPattern::Uniform);
+        let mut out = vec![None; n];
+        for slot in 0..100 {
+            t.arrivals_into(slot, &mut a, &mut out);
+            for _ in 0..n {
+                let _ = b.next_u32();
+            }
+            assert_eq!(a, b, "word count diverged at slot {slot}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_uniform_takes_the_split_path() {
+        // n = 12 cannot fuse; the split kernel must still realize the load.
+        let mut r = rng();
+        let mut t = FastBernoulli::new(12, 0.9, DestPattern::Uniform);
+        let slots = 50_000u64;
+        let hits = (0..slots)
+            .filter(|&slot| t.arrival(slot, 3, &mut r).is_some())
+            .count() as f64;
+        let rate = hits / slots as f64;
+        let sigma = (0.9 * 0.1 / slots as f64).sqrt();
+        assert!((rate - 0.9).abs() < 6.0 * sigma, "rate was {rate}");
+        let mut seen = [false; 12];
+        for slot in 0..4000 {
+            if let Some(d) = t.arrival(slot, 3, &mut r) {
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "split uniform missed an output");
+    }
+
+    #[test]
+    fn fast_generators_are_deterministic() {
+        let run = || {
+            let mut r = StdRng::seed_from_u64(0xFA57);
+            let mut t = FastBernoulli::new(8, 0.9, DestPattern::Uniform);
+            let mut out = [None; 8];
+            let mut acc = Vec::new();
+            for slot in 0..500 {
+                t.arrivals_into(slot, &mut r, &mut out);
+                acc.extend_from_slice(&out);
+            }
+            acc
+        };
+        assert_eq!(run(), run());
     }
 }

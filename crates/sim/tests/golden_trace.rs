@@ -71,6 +71,17 @@ fn golden_trace_matches_fixture_twice() {
     }
 }
 
+/// The fixture freezes the *legacy* Bernoulli stream: `paper_default()`
+/// (which `golden_cfg` inherits its traffic kind from) must keep the legacy
+/// generator, or the byte-identity check above would silently start testing
+/// a different process.
+#[test]
+fn golden_cfg_pins_the_legacy_generator() {
+    let cfg = golden_cfg();
+    assert_eq!(cfg.traffic, lcf_sim::config::TrafficKind::Bernoulli);
+    assert!(!cfg.traffic.is_fast());
+}
+
 #[test]
 fn golden_trace_is_wellformed_jsonl() {
     // Every fixture line is one JSON object with the mandatory envelope

@@ -1,0 +1,116 @@
+//! Profiling harness for the heavy-traffic fast path: breaks the
+//! load-0.99 slot loop into its components (dense matching kernel,
+//! traffic generation legacy vs fast, full slot loop per scheduler and
+//! backend) so a regression can be attributed to one layer from a single
+//! run. All sections run in the same process, so the printed *ratios*
+//! are meaningful even on noisy machines where absolute ns are not —
+//! the same convention the `sim_heavy` criterion group and `bench_guard`
+//! use. The EXPERIMENTS.md "Heavy-traffic fast path" numbers come from
+//! here and from the committed `results/BENCH_schedulers.json`.
+//!
+//! Run with: `cargo run --release --example profile_heavy`
+
+use lcf_switch::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let n = 32usize;
+
+    // 1. Dense schedule_into cost (the load-0.99 steady-state matrix).
+    let requests = RequestMatrix::from_pairs(n, (0..n).flat_map(|i| (0..n).map(move |j| (i, j))));
+    for kind in ["lcf_central", "lcf_central_rr", "islip", "wfront"] {
+        let k = lcf_core::registry::SchedulerKind::from_name(kind).unwrap();
+        let mut sched = k.build(n, 4, 11);
+        let mut out = Matching::new(n);
+        let iters = 200_000u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            sched.schedule_into(&requests, &mut out);
+            std::hint::black_box(out.size());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("dense schedule_into {kind:<16} {ns:8.1} ns/call");
+    }
+
+    // 2. Traffic generation alone at load 0.99, legacy vs fast.
+    {
+        use lcf_sim::traffic::{Bernoulli, DestPattern, FastBernoulli, Traffic};
+        let slots = 1_000_000u64;
+        let mut cases: Vec<(&str, Box<dyn Traffic>)> = vec![
+            (
+                "legacy",
+                Box::new(Bernoulli::new(n, 0.99, DestPattern::Uniform)),
+            ),
+            (
+                "fast",
+                Box::new(FastBernoulli::new(n, 0.99, DestPattern::Uniform)),
+            ),
+        ];
+        for (label, t) in cases.iter_mut() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut batch = vec![None; n];
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for slot in 0..slots {
+                t.arrivals_into(slot, &mut rng, &mut batch);
+                for d in batch.iter().flatten() {
+                    acc = acc.wrapping_add(*d as u64);
+                }
+            }
+            let ns = start.elapsed().as_nanos() as f64 / slots as f64;
+            println!(
+                "{label:<6} Bernoulli traffic (n={n}, load .99): {ns:8.1} ns/slot  (acc {acc})"
+            );
+        }
+    }
+
+    // 2b. Scalar-backend reference slot loop (the paper-transliteration
+    // legacy path) at load 0.99.
+    {
+        use lcf_sim::stats::SimStats;
+        use lcf_sim::switch::{IqSwitch, QueueMode};
+        use lcf_sim::traffic::{Bernoulli, DestPattern};
+        let k = lcf_core::registry::SchedulerKind::LcfCentral;
+        let sched = k
+            .build_with_backend(n, 4, 2, lcf_core::bitkern::Backend::Scalar)
+            .0;
+        let mut sw = IqSwitch::new(n, sched, QueueMode::Voq { cap: 256 }, 1000);
+        let mut traffic = Bernoulli::new(n, 0.99, DestPattern::Uniform);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SimStats::new(n, 0, 4096);
+        let slots = 200_000u64;
+        let start = Instant::now();
+        for slot in 0..slots {
+            sw.step(slot, &mut traffic, &mut rng, &mut stats);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / slots as f64;
+        println!("full slot loop scalar-reference lcf_central load .99: {ns:8.1} ns/slot");
+    }
+
+    // 3. Full slot loop at load 0.99, legacy vs fast generator.
+    for gen in ["legacy", "fast"] {
+        for kind in ["lcf_central", "lcf_central_rr", "islip", "wfront"] {
+            let k = lcf_core::registry::SchedulerKind::from_name(kind).unwrap();
+            use lcf_sim::stats::SimStats;
+            use lcf_sim::switch::{IqSwitch, QueueMode};
+            use lcf_sim::traffic::{Bernoulli, DestPattern, FastBernoulli, Traffic};
+            let mut sw = IqSwitch::new(n, k.build(n, 4, 2), QueueMode::Voq { cap: 256 }, 1000);
+            let mut traffic: Box<dyn Traffic> = if gen == "fast" {
+                Box::new(FastBernoulli::new(n, 0.99, DestPattern::Uniform))
+            } else {
+                Box::new(Bernoulli::new(n, 0.99, DestPattern::Uniform))
+            };
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut stats = SimStats::new(n, 0, 4096);
+            let slots = 200_000u64;
+            let start = Instant::now();
+            for slot in 0..slots {
+                sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / slots as f64;
+            println!("full slot loop {gen:<6} {kind:<16} load .99: {ns:8.1} ns/slot");
+        }
+    }
+}
