@@ -31,6 +31,7 @@ use lcf_core::registry::SchedulerKind;
 use lcf_core::request::RequestMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// lint:allow(wall-clock): bench_guard's whole purpose is live wall-clock re-measure
 use std::time::Instant;
 
 /// Allowed slack over the committed baseline median. The baseline was
@@ -192,6 +193,7 @@ fn measure_heavy_slot(backend: Backend, fast_traffic: bool) -> f64 {
 
     let mut samples: Vec<f64> = (0..HEAVY_SAMPLES)
         .map(|_| {
+            // lint:allow(wall-clock): timing the hot slot loop is the measurement
             let start = Instant::now();
             for _ in 0..SLOTS_PER_SAMPLE {
                 sw.step(slot, traffic.as_mut(), &mut rng, &mut stats);
@@ -223,6 +225,7 @@ fn measure_lcf_central(n: usize, density: f64) -> f64 {
 
     let mut samples: Vec<f64> = (0..SAMPLES)
         .map(|_| {
+            // lint:allow(wall-clock): timing the scheduler calls is the measurement
             let start = Instant::now();
             for _ in 0..CALLS_PER_SAMPLE {
                 let m = sched.schedule(&pool[idx % pool.len()]);

@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin bursty [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f2, write_csv};
 use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};

@@ -7,6 +7,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin clint_channels [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f2, f3, write_csv};
 use lcf_clint::sim::{ClintConfig, ClintSim};

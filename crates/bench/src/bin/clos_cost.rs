@@ -7,6 +7,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin clos_cost`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, write_csv};
 use lcf_core::lcf::CentralLcf;

@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run -p lcf-bench --bin fig10`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, write_csv};
 use lcf_hw::comm::{central_message_fields, comparison, distributed_message_fields};

@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin fig12 [--quick] [--seed N]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::fig12;
 use lcf_bench::table::{ascii_table, f2, f3, write_csv};

@@ -20,6 +20,8 @@
 //! (CI runs it this way); the committed `results/heavy_traffic.csv` comes
 //! from the full run: 8 replications × 10⁶ measured slots per point.
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f2, write_csv};
 use lcf_core::registry::SchedulerKind;

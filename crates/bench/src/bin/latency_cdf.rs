@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin latency_cdf [--quick] [--load L]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, write_csv};
 use lcf_sim::config::{ModelKind, SimConfig};

@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin matchsize [--quick] [--seed N]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f3, write_csv};
 use lcf_core::maxsize::MaxSizeMatcher;

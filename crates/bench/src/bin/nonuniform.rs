@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin nonuniform [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f3, write_csv};
 use lcf_core::registry::SchedulerKind;

@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin pipeline_latency [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f2, f3, write_csv};
 use lcf_core::registry::SchedulerKind;

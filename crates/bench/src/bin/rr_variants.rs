@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin rr_variants [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, write_csv};
 use lcf_core::lcf::{CentralLcf, RrPolicy};

@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin transient [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, write_csv};
 use lcf_core::registry::SchedulerKind;

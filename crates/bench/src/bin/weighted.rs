@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p lcf-bench --bin weighted [--quick]`
 
+#![forbid(unsafe_code)]
+
 use lcf_bench::cli;
 use lcf_bench::table::{ascii_table, f2, write_csv};
 use lcf_core::registry::SchedulerKind;

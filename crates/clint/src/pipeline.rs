@@ -159,6 +159,7 @@ impl BulkPipeline {
 
         // Acknowledge stage: ack the transfers of two slots ago.
         let acks: Vec<(usize, usize)> = if self.in_flight.len() == 2 {
+            // lint:allow(no-panic): front() of a deque whose len was checked == 2
             let s = self.in_flight.front().expect("len checked");
             let mut a: Vec<(usize, usize)> = s.precalc.connections().map(|(i, j)| (j, i)).collect();
             a.extend(s.lcf.pairs().map(|(i, j)| (j, i)));

@@ -52,6 +52,7 @@ impl QuickChannel {
             }
             let winner = self.winners[dst]
                 .select(|i| sends[i] == Some(dst))
+                // lint:allow(no-panic): contenders was checked non-empty just above
                 .expect("contender exists");
             self.winners[dst].advance_past(winner);
             outcome.forwarded.push((winner, dst));

@@ -253,6 +253,7 @@ impl ReliableSim {
             let t = self.hosts[i]
                 .wire
                 .take()
+                // lint:allow(no-panic): a transfer event is only emitted after the grant placed a packet on the wire
                 .expect("transfer without wire packet");
             debug_assert_eq!(t.dst, j);
             if self.rng.gen_bool(self.cfg.breq_loss) {
@@ -294,6 +295,7 @@ impl ReliableSim {
                 let i = g.node_id as usize;
                 let j = g.gnt as usize;
                 let host = &mut self.hosts[i];
+                // lint:allow(no-panic): the scheduler only grants VOQs it saw non-empty, and nothing drains them in between
                 let t = host.pending[j].pop_front().expect("grant for empty queue");
                 debug_assert!(host.wire.is_none());
                 host.wire = Some(t);

@@ -313,6 +313,7 @@ impl ClintSim {
                 let j = g.gnt as usize;
                 let gen = self.hosts[i].voqs[j]
                     .pop_front()
+                    // lint:allow(no-panic): grants are only issued against VOQs reported non-empty this slot
                     .expect("grant for an empty VOQ");
                 debug_assert!(self.hosts[i].send_buffer.is_none());
                 self.hosts[i].send_buffer = Some((j, gen));
@@ -335,6 +336,7 @@ impl ClintSim {
             .collect();
         let outcome = self.quick.transmit(&sends);
         for &(i, _dst) in &outcome.forwarded {
+            // lint:allow(no-panic): transmit() forwards only heads it was handed from these queues
             let (_, gen) = self.hosts[i].quick.pop_front().expect("forwarded head");
             self.report.quick_delivered += 1;
             self.quick_latency_sum += (slot - gen) as f64;

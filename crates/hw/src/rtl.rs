@@ -276,6 +276,7 @@ impl RtlScheduler {
             }
             let top_prio_holder = (0..n)
                 .find(|&i| Slice::count(&self.slices[i].prio) == 0)
+                // lint:allow(no-panic): rotate_prio keeps PRIO a permutation, so priority 0 always exists
                 .expect("exactly one slice holds priority 0");
             debug_assert_eq!(top_prio_holder, (self.prio_origin + step) % n);
 

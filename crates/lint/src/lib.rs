@@ -1,27 +1,54 @@
 //! # lcf-lint — repo-specific static analysis
 //!
-//! A dependency-free lexical analyzer for the workspace's own determinism
+//! A dependency-free static analyzer for the workspace's own determinism
 //! and robustness rules — the properties `rustc` and `clippy` cannot know
 //! about because they are contracts of *this* codebase:
 //!
 //! | rule | meaning | scope |
 //! |---|---|---|
-//! | `hash-collections` | no `HashMap`/`HashSet` (iteration order is unspecified; simulation results must be bit-identical) | core, sim, fabric, clint, telemetry |
-//! | `wall-clock` | no `SystemTime`/`Instant` (simulated time is slot-based; wall clocks break reproducibility) | core, sim, fabric, clint, telemetry |
-//! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim |
+//! | `hash-collections` | no `HashMap`/`HashSet` (iteration order is unspecified; simulation results must be bit-identical) | core, sim, fabric, clint, telemetry, hw, bench |
+//! | `wall-clock` | no `SystemTime`/`Instant` (simulated time is slot-based; wall clocks break reproducibility) | core, sim, fabric, clint, telemetry, hw |
+//! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim, telemetry, fabric, clint, hw |
 //! | `truncating-cast` | no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` casts (port indices are `usize`; narrowing must be `try_from`) | core, sim, fabric |
-//! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs`) | whole workspace |
-//! | `hot-path-alloc` | no `Matching::new`, `vec![...]` or `with_capacity` inside per-slot hot functions (`schedule_into`, `schedule_weighted_into`, `step` bodies) — buffers are sized at construction and reused | core, sim |
+//! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs` / `src/bin/*.rs`) | whole workspace |
+//! | `hot-path-alloc` | no `Matching::new`, `vec![...]` or `with_capacity` inside per-slot hot functions (`schedule_into`, `schedule_weighted_into`, `step`) **or any same-crate fn they call** — buffers are sized at construction and reused | core, sim |
+//! | `rng-stream` | no branch-dependent RNG draw (a draw reachable under only one arm of `if`/`match`, in a `while`/`loop`, or inside a lazy combinator closure) unless the enclosing fn documents its draw-count contract with `lint:allow(rng-stream): ...` | sim traffic, rng |
+//! | `telemetry-hygiene` | no use of `lcf_telemetry` symbols outside a `#[cfg(feature = "telemetry")]`-gated item or block — the default-off hot path must provably not touch telemetry | core, sim, clint, cli |
 //!
-//! The analysis is *lexical*: a hand-rolled Rust tokenizer
-//! ([`tokenize`]) that understands comments (line, nested block, doc),
-//! string/char/byte literals, raw strings and lifetimes, so rule words
-//! inside comments or strings never fire. Items gated behind a `test` cfg
-//! (`#[cfg(test)]` modules, `#[test]` functions) are skipped entirely.
+//! The analysis is structure-aware but still hand-rolled and
+//! dependency-free: the [`lex`] module tokenizes (comments, raw strings,
+//! lifetimes, numeric suffixes all handled), and the [`parse`] module
+//! recovers the item tree — `fn`/`impl` spans with owners, `#[cfg(...)]`
+//! gates (test and telemetry), out-of-line `mod` declarations — plus
+//! enough call structure for a one-level intra-crate call graph. Items
+//! gated behind a `test` cfg (`#[cfg(test)]` modules, `#[test]`
+//! functions) are skipped by every content rule; `cfg_attr(test, ...)`
+//! and `cfg(not(test))` do **not** gate (that code is live in
+//! production).
+//!
+//! ## Why `rng-stream` exists
+//!
+//! The golden traces and `replicate_seed` coupling freeze exact
+//! keystreams: every traffic generator documents how many RNG words it
+//! consumes per slot, and replicated runs rely on that count being
+//! data-independent. A draw that executes under only one branch makes
+//! the stream position depend on earlier outcomes, silently decoupling
+//! paired runs. Generators that *intentionally* draw variable counts
+//! (rejection sampling, gate-then-destination) must say so:
+//!
+//! ```text
+//! // lint:allow(rng-stream): draws 1 gate word per slot + 1 dest word per arrival
+//! fn arrival(&mut self, rng: &mut SimRng) -> Option<usize> { ... }
+//! ```
+//!
+//! For `rng-stream` the tag is *fn-scoped*: placed within two lines above
+//! the `fn` (or anywhere inside it), it covers the whole body, because the
+//! draw-count contract is a property of the function, not of one line.
 //!
 //! ## Allowlist tag
 //!
-//! A finding can be suppressed with an inline justification comment:
+//! Every other finding is suppressed line-wise with an inline
+//! justification comment:
 //!
 //! ```text
 //! // lint:allow(no-panic): grant ⊆ request is checked above, so the queue is non-empty
@@ -36,6 +63,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lex;
+pub mod parse;
+
+use lex::{Comment, Tok};
+use parse::{FnItem, ParsedFile};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Rule identifiers, used in findings and in `lint:allow(...)` tags.
@@ -50,19 +83,25 @@ pub mod rules {
     pub const TRUNCATING_CAST: &str = "truncating-cast";
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     pub const FORBID_UNSAFE: &str = "forbid-unsafe";
-    /// Heap allocation inside a per-slot hot function.
+    /// Heap allocation inside a per-slot hot function or its callees.
     pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+    /// Branch-dependent RNG draw without a documented draw-count contract.
+    pub const RNG_STREAM: &str = "rng-stream";
+    /// `lcf_telemetry` use outside a `#[cfg(feature = "telemetry")]` gate.
+    pub const TELEMETRY_HYGIENE: &str = "telemetry-hygiene";
     /// Malformed `lint:allow` tag (unknown rule or empty justification).
     pub const BAD_ALLOW_TAG: &str = "bad-allow-tag";
 
     /// Every content rule a `lint:allow` tag may name.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 8] = [
         HASH_COLLECTIONS,
         WALL_CLOCK,
         NO_PANIC,
         TRUNCATING_CAST,
         FORBID_UNSAFE,
         HOT_PATH_ALLOC,
+        RNG_STREAM,
+        TELEMETRY_HYGIENE,
     ];
 }
 
@@ -81,8 +120,13 @@ pub struct RuleSet {
     pub truncating_cast: bool,
     /// Require `#![forbid(unsafe_code)]` (crate roots only).
     pub forbid_unsafe: bool,
-    /// Enforce the `hot-path-alloc` rule.
+    /// Enforce the `hot-path-alloc` rule (this file's hot fns are roots,
+    /// and its fns are candidate callees for same-group roots).
     pub hot_path_alloc: bool,
+    /// Enforce the `rng-stream` rule.
+    pub rng_stream: bool,
+    /// Enforce the `telemetry-hygiene` rule.
+    pub telemetry_hygiene: bool,
 }
 
 impl RuleSet {
@@ -95,6 +139,8 @@ impl RuleSet {
             truncating_cast: true,
             forbid_unsafe: true,
             hot_path_alloc: true,
+            rng_stream: true,
+            telemetry_hygiene: true,
         }
     }
 
@@ -105,7 +151,9 @@ impl RuleSet {
             || self.no_panic
             || self.truncating_cast
             || self.forbid_unsafe
-            || self.hot_path_alloc)
+            || self.hot_path_alloc
+            || self.rng_stream
+            || self.telemetry_hygiene)
     }
 }
 
@@ -130,244 +178,6 @@ impl fmt::Display for Finding {
             self.file, self.line, self.rule, self.excerpt
         )
     }
-}
-
-/// Token categories the rules care about.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum Tok {
-    /// Identifier or keyword.
-    Ident(String),
-    /// Any single punctuation character.
-    Punct(char),
-}
-
-/// A token with its 1-based source line.
-#[derive(Clone, Debug)]
-struct Spanned {
-    tok: Tok,
-    line: usize,
-}
-
-/// A comment with the 1-based line it starts on.
-#[derive(Clone, Debug)]
-struct Comment {
-    text: String,
-    line: usize,
-}
-
-/// Lexes `source` into identifier/punct tokens plus the comment list.
-/// Strings, chars, byte and raw literals are consumed without producing
-/// tokens; numeric literals are consumed likewise (their suffixes must not
-/// look like idents, so `0u32` never trips `truncating-cast`).
-fn tokenize(source: &str) -> (Vec<Spanned>, Vec<Comment>) {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut toks = Vec::new();
-    let mut comments = Vec::new();
-    let mut i = 0;
-    let mut line = 1;
-    let n = bytes.len();
-
-    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count();
-
-    while i < n {
-        let c = bytes[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '/' => {
-                let start = i;
-                while i < n && bytes[i] != '\n' {
-                    i += 1;
-                }
-                comments.push(Comment {
-                    text: bytes[start..i].iter().collect(),
-                    line,
-                });
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                let start = i;
-                let start_line = line;
-                let mut depth = 1;
-                i += 2;
-                while i < n && depth > 0 {
-                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        if bytes[i] == '\n' {
-                            line += 1;
-                        }
-                        i += 1;
-                    }
-                }
-                comments.push(Comment {
-                    text: bytes[start..i.min(n)].iter().collect(),
-                    line: start_line,
-                });
-            }
-            '"' => {
-                i = skip_string(&bytes, i, &mut line);
-            }
-            'r' | 'b' if starts_literal(&bytes, i) => {
-                let end = skip_prefixed_literal(&bytes, i);
-                line += count_lines(&bytes[i..end]);
-                i = end;
-            }
-            '\'' => {
-                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                if i + 1 < n && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_') {
-                    let mut j = i + 2;
-                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
-                        j += 1;
-                    }
-                    if j < n && bytes[j] == '\'' && j == i + 2 {
-                        i = j + 1; // single-char literal like 'a'
-                    } else {
-                        i = j; // lifetime: skip the label, no closing quote
-                    }
-                } else {
-                    // Escaped or punctuation char literal: '\n', '\'', '('.
-                    let mut j = i + 1;
-                    while j < n && bytes[j] != '\'' {
-                        if bytes[j] == '\\' {
-                            j += 1;
-                        }
-                        j += 1;
-                    }
-                    i = j + 1;
-                }
-            }
-            _ if c.is_alphabetic() || c == '_' => {
-                let start = i;
-                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
-                    i += 1;
-                }
-                toks.push(Spanned {
-                    tok: Tok::Ident(bytes[start..i].iter().collect()),
-                    line,
-                });
-            }
-            _ if c.is_ascii_digit() => {
-                // Numeric literal incl. type suffix (`0u32`, `1_000`, `0x5EED`,
-                // `1.5e-3`): consume so the suffix never becomes an ident.
-                while i < n
-                    && (bytes[i].is_alphanumeric()
-                        || bytes[i] == '_'
-                        || bytes[i] == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit())
-                {
-                    i += 1;
-                }
-            }
-            _ => {
-                if !c.is_whitespace() {
-                    toks.push(Spanned {
-                        tok: Tok::Punct(c),
-                        line,
-                    });
-                }
-                i += 1;
-            }
-        }
-    }
-    (toks, comments)
-}
-
-/// True if position `i` (at `r` or `b`) starts a raw/byte literal rather
-/// than an identifier.
-fn starts_literal(bytes: &[char], i: usize) -> bool {
-    // Not a literal if preceded by an ident char (e.g. the `r` in `var`).
-    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
-        return false;
-    }
-    let n = bytes.len();
-    match bytes[i] {
-        'r' => i + 1 < n && (bytes[i + 1] == '"' || bytes[i + 1] == '#'),
-        'b' => {
-            i + 1 < n
-                && (bytes[i + 1] == '"'
-                    || bytes[i + 1] == '\''
-                    || (bytes[i + 1] == 'r'
-                        && i + 2 < n
-                        && (bytes[i + 2] == '"' || bytes[i + 2] == '#')))
-        }
-        _ => false,
-    }
-}
-
-/// Skips a plain `"..."` string starting at `i`, tracking newlines.
-fn skip_string(bytes: &[char], mut i: usize, line: &mut usize) -> usize {
-    let n = bytes.len();
-    i += 1;
-    while i < n {
-        match bytes[i] {
-            '\\' => i += 2,
-            '"' => return i + 1,
-            '\n' => {
-                *line += 1;
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    n
-}
-
-/// Skips a literal starting with `r`/`b`: raw strings (`r"…"`, `r#"…"#`),
-/// byte strings (`b"…"`, `br#"…"#`), raw idents (`r#name`) and byte chars
-/// (`b'x'`). Returns the index just past the literal.
-fn skip_prefixed_literal(bytes: &[char], mut i: usize) -> usize {
-    let n = bytes.len();
-    // Consume the prefix letters.
-    if bytes[i] == 'b' {
-        i += 1;
-    }
-    if i < n && bytes[i] == 'r' {
-        i += 1;
-    }
-    if i < n && bytes[i] == '\'' {
-        // Byte char b'x' / b'\n'.
-        i += 1;
-        while i < n && bytes[i] != '\'' {
-            if bytes[i] == '\\' {
-                i += 1;
-            }
-            i += 1;
-        }
-        return (i + 1).min(n);
-    }
-    // Count `#`s of a raw string; `r#ident` has no quote after the hashes.
-    let mut hashes = 0;
-    while i < n && bytes[i] == '#' {
-        hashes += 1;
-        i += 1;
-    }
-    if i >= n || bytes[i] != '"' {
-        // Raw identifier like r#type: lex as an ident (skipped — raw idents
-        // are never rule words).
-        while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
-            i += 1;
-        }
-        return i;
-    }
-    i += 1; // opening quote
-    while i < n {
-        if bytes[i] == '"' {
-            let mut k = 0;
-            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
-                k += 1;
-            }
-            if k == hashes {
-                return i + 1 + hashes;
-            }
-        }
-        i += 1;
-    }
-    n
 }
 
 /// A parsed `lint:allow(rule): justification` tag.
@@ -409,14 +219,134 @@ const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// models' slot step.
 const HOT_FNS: [&str; 3] = ["schedule_into", "schedule_weighted_into", "step"];
 
-/// Lints one file's source text under `rules`, labeling findings with
-/// `path_label`. This is the whole analysis — the binary only adds the
-/// filesystem walk and per-path rule scoping.
-pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Finding> {
-    let (toks, comments) = tokenize(source);
-    let tags = allow_tags(&comments);
-    let mut findings = Vec::new();
+/// Method names whose body draws count as RNG draws under `rng-stream`.
+/// `next` covers the bulk samplers' generic word source (`FnMut() -> u32`);
+/// the scoped files use no iterator by that name.
+const DRAW_FNS: [&str; 9] = [
+    "next_u32",
+    "next_u64",
+    "fill_bytes",
+    "gen_bool",
+    "gen_range",
+    "gen",
+    "sample",
+    "random",
+    "next",
+];
 
+/// Combinators whose argument closure runs conditionally: a draw inside
+/// `cond.then(|| rng.next_u32())` is branch-dependent exactly like a draw
+/// inside an `if` arm.
+const LAZY_COMBINATORS: [&str; 8] = [
+    "then",
+    "then_some",
+    "map_or",
+    "map_or_else",
+    "unwrap_or_else",
+    "or_else",
+    "filter",
+    "get_or_insert_with",
+];
+
+/// One lexed + parsed source file, ready for linting. Parsing once and
+/// linting per-crate lets the `hot-path-alloc` rule follow calls across
+/// files of the same crate.
+pub struct SourceFile {
+    /// Path label used in findings.
+    pub label: String,
+    toks: Vec<lex::Spanned>,
+    parsed: ParsedFile,
+    tags: Vec<AllowTag>,
+}
+
+impl SourceFile {
+    /// Lexes and parses `source`, labeling future findings with `label`.
+    pub fn parse(label: &str, source: &str) -> Self {
+        let (toks, comments) = lex::tokenize(source);
+        let parsed = parse::parse(&toks);
+        let tags = allow_tags(&comments);
+        SourceFile {
+            label: label.to_string(),
+            toks,
+            parsed,
+            tags,
+        }
+    }
+
+    /// The file's out-of-line `mod name;` declarations with their cfg
+    /// gates — the binary uses these to propagate a parent file's
+    /// `#[cfg(feature = "telemetry")]` gate onto the child file.
+    pub fn mod_decls(&self) -> &[parse::ModDecl] {
+        &self.parsed.mod_decls
+    }
+
+    /// Line-scoped allowlist check: a justified tag on the same or the
+    /// preceding line.
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.tags
+            .iter()
+            .any(|t| t.justified && t.rule == rule && (t.line == line || t.line + 1 == line))
+    }
+
+    /// Fn-scoped allowlist check for `rng-stream`: a justified tag
+    /// anywhere inside the fn covers the whole body, and a tag up to two
+    /// lines above the `fn` (room for doc/attr lines) covers it if this
+    /// fn is the *first* one after the tag — so adjacent one-line fns
+    /// don't inherit each other's contracts.
+    fn fn_allowed(&self, rule: &str, f: &FnItem) -> bool {
+        self.tags.iter().any(|t| {
+            if !t.justified || t.rule != rule {
+                return false;
+            }
+            if t.line >= f.line && t.line <= f.end_line {
+                return true;
+            }
+            t.line < f.line
+                && f.line - t.line <= 2
+                && !self
+                    .parsed
+                    .fns
+                    .iter()
+                    .any(|g| g.line > t.line && g.line < f.line)
+        })
+    }
+
+    /// Body spans of fns nested strictly inside `outer` (scanned on their
+    /// own; skipped when scanning the outer body).
+    fn nested_fn_spans(&self, outer: (usize, usize)) -> Vec<(usize, usize)> {
+        self.parsed
+            .fns
+            .iter()
+            .filter_map(|f| f.body)
+            .filter(|&(a, b)| a > outer.0 && b < outer.1)
+            .collect()
+    }
+}
+
+/// Lints one file's source text under `rules`, labeling findings with
+/// `path_label`. Convenience wrapper over [`lint_files`] for a single
+/// file; the call-graph rule then only sees that file's own fns.
+pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Finding> {
+    lint_files(&[(SourceFile::parse(path_label, source), *rules)])
+}
+
+/// Lints a group of files (typically one crate). Per-file rules run on
+/// each file; the call-graph `hot-path-alloc` pass then runs across the
+/// whole group, so a helper extracted into a sibling module is still
+/// reachable from its hot caller.
+pub fn lint_files(files: &[(SourceFile, RuleSet)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (sf, rules) in files {
+        file_pass(sf, rules, &mut findings);
+    }
+    hot_path_pass(files, &mut findings);
+    findings
+}
+
+/// All per-file rules: tag validation, forbid-unsafe, the flat content
+/// scan (hash/wall-clock/no-panic/cast/telemetry), and the per-fn
+/// rng-stream scan.
+fn file_pass(sf: &SourceFile, rules: &RuleSet, findings: &mut Vec<Finding>) {
     // Malformed tags are findings themselves — a silent bad tag would
     // suppress nothing while looking like it does. Only checked where some
     // content rule applies: files outside every content scope (like this
@@ -425,35 +355,25 @@ pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Findi
         || rules.wall_clock
         || rules.no_panic
         || rules.truncating_cast
-        || rules.hot_path_alloc;
-    for t in tags.iter().filter(|_| content_rules) {
-        if !rules::ALL.contains(&t.rule.as_str()) || !t.justified {
-            findings.push(Finding {
-                file: path_label.to_string(),
-                line: t.line,
-                rule: rules::BAD_ALLOW_TAG,
-                excerpt: if t.justified {
-                    format!("unknown rule `{}` in lint:allow tag", t.rule)
-                } else {
-                    format!("lint:allow({}) tag lacks a justification", t.rule)
-                },
-            });
+        || rules.hot_path_alloc
+        || rules.rng_stream
+        || rules.telemetry_hygiene;
+    if content_rules {
+        for t in &sf.tags {
+            if !rules::ALL.contains(&t.rule.as_str()) || !t.justified {
+                findings.push(Finding {
+                    file: sf.label.clone(),
+                    line: t.line,
+                    rule: rules::BAD_ALLOW_TAG,
+                    excerpt: if t.justified {
+                        format!("unknown rule `{}` in lint:allow tag", t.rule)
+                    } else {
+                        format!("lint:allow({}) tag lacks a justification", t.rule)
+                    },
+                });
+            }
         }
     }
-    let allowed = |rule: &str, line: usize| {
-        tags.iter()
-            .any(|t| t.justified && t.rule == rule && (t.line == line || t.line + 1 == line))
-    };
-    let mut push = |rule: &'static str, line: usize, excerpt: String| {
-        if !allowed(rule, line) {
-            findings.push(Finding {
-                file: path_label.to_string(),
-                line,
-                rule,
-                excerpt,
-            });
-        }
-    };
 
     if rules.forbid_unsafe {
         let want: Vec<Tok> = [
@@ -467,177 +387,315 @@ pub fn lint_source(path_label: &str, source: &str, rules: &RuleSet) -> Vec<Findi
             Tok::Punct(']'),
         ]
         .into();
-        let present = toks
+        let present = sf
+            .toks
             .windows(want.len())
             .any(|w| w.iter().map(|s| &s.tok).eq(want.iter()));
-        if !present {
-            push(
-                rules::FORBID_UNSAFE,
-                1,
-                "crate root lacks #![forbid(unsafe_code)]".to_string(),
-            );
+        if !present && !sf.allowed(rules::FORBID_UNSAFE, 1) {
+            findings.push(Finding {
+                file: sf.label.clone(),
+                line: 1,
+                rule: rules::FORBID_UNSAFE,
+                excerpt: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            });
         }
     }
 
-    // Content rules, with test-gated items skipped. The `hot-path-alloc`
-    // rule additionally tracks whether the scan is inside the body of a
-    // per-slot hot function (`schedule_into`, `schedule_weighted_into`,
-    // `step`): `pending_hot` is set between the function's name and its
-    // opening brace (canceled by `;`, i.e. a bodiless trait declaration),
-    // and `hot_exit_depth` remembers the brace depth the body closes at.
-    let mut brace_depth = 0usize;
-    let mut pending_hot = false;
-    let mut hot_exit_depth: Option<usize> = None;
-    let mut i = 0;
-    while i < toks.len() {
-        // `#[...]` outer attribute: if it mentions the `test` cfg, skip the
-        // item it decorates (to the next `;` or over its `{ ... }` body).
-        if toks[i].tok == Tok::Punct('#')
-            && i + 1 < toks.len()
-            && toks[i + 1].tok == Tok::Punct('[')
-        {
-            let mut j = i + 2;
-            let mut depth = 1;
-            let mut is_test = false;
-            while j < toks.len() && depth > 0 {
-                match &toks[j].tok {
-                    Tok::Punct('[') => depth += 1,
-                    Tok::Punct(']') => depth -= 1,
-                    Tok::Ident(id) if id == "test" => is_test = true,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if is_test {
-                i = skip_item(&toks, j);
-            } else {
-                i = j;
-            }
+    // Flat content scan with test-gated spans skipped.
+    for (idx, s) in sf.toks.iter().enumerate() {
+        if sf.parsed.in_test(idx) {
             continue;
         }
-
-        let line = toks[i].line;
-        match &toks[i].tok {
-            Tok::Punct('{') => {
-                if pending_hot {
-                    hot_exit_depth = hot_exit_depth.or(Some(brace_depth));
-                    pending_hot = false;
-                }
-                brace_depth += 1;
+        let line = s.line;
+        let next = sf.toks.get(idx + 1).map(|s| &s.tok);
+        let mut push = |rule: &'static str, excerpt: String| {
+            if !sf.allowed(rule, line) {
+                findings.push(Finding {
+                    file: sf.label.clone(),
+                    line,
+                    rule,
+                    excerpt,
+                });
             }
-            Tok::Punct('}') => {
-                brace_depth = brace_depth.saturating_sub(1);
-                if hot_exit_depth == Some(brace_depth) {
-                    hot_exit_depth = None;
-                }
-            }
-            Tok::Punct(';') => pending_hot = false,
-            _ => {}
-        }
-        let in_hot = rules.hot_path_alloc && hot_exit_depth.is_some();
-        if let Tok::Ident(id) = &toks[i].tok {
-            let next = toks.get(i + 1).map(|s| &s.tok);
+        };
+        if let Tok::Ident(id) = &s.tok {
             match id.as_str() {
-                "fn" if rules.hot_path_alloc => {
-                    if let Some(Tok::Ident(name)) = next {
-                        if HOT_FNS.contains(&name.as_str()) {
-                            pending_hot = true;
-                        }
-                    }
-                }
-                "Matching"
-                    if in_hot
-                        && toks.get(i + 1).map(|s| &s.tok) == Some(&Tok::Punct(':'))
-                        && toks.get(i + 2).map(|s| &s.tok) == Some(&Tok::Punct(':'))
-                        && matches!(toks.get(i + 3).map(|s| &s.tok),
-                            Some(Tok::Ident(m)) if m == "new") =>
-                {
-                    push(
-                        rules::HOT_PATH_ALLOC,
-                        line,
-                        "Matching::new in a hot function".to_string(),
-                    );
-                }
-                "vec" if in_hot && next == Some(&Tok::Punct('!')) => {
-                    push(
-                        rules::HOT_PATH_ALLOC,
-                        line,
-                        "vec! allocation in a hot function".to_string(),
-                    );
-                }
-                "with_capacity" if in_hot => {
-                    push(
-                        rules::HOT_PATH_ALLOC,
-                        line,
-                        "with_capacity allocation in a hot function".to_string(),
-                    );
-                }
                 "HashMap" | "HashSet" if rules.hash_collections => {
-                    push(rules::HASH_COLLECTIONS, line, format!("use of {id}"));
+                    push(rules::HASH_COLLECTIONS, format!("use of {id}"));
                 }
                 "SystemTime" | "Instant" if rules.wall_clock => {
-                    push(rules::WALL_CLOCK, line, format!("use of {id}"));
+                    push(rules::WALL_CLOCK, format!("use of {id}"));
                 }
                 "unwrap" | "expect" if rules.no_panic && next == Some(&Tok::Punct('(')) => {
-                    push(rules::NO_PANIC, line, format!("call to {id}()"));
+                    push(rules::NO_PANIC, format!("call to {id}()"));
                 }
                 "panic" if rules.no_panic && next == Some(&Tok::Punct('!')) => {
-                    push(rules::NO_PANIC, line, "panic! invocation".to_string());
+                    push(rules::NO_PANIC, "panic! invocation".to_string());
                 }
                 "as" if rules.truncating_cast => {
                     if let Some(Tok::Ident(ty)) = next {
                         if NARROW_INTS.contains(&ty.as_str()) {
-                            push(
-                                rules::TRUNCATING_CAST,
-                                line,
-                                format!("truncating cast `as {ty}`"),
-                            );
+                            push(rules::TRUNCATING_CAST, format!("truncating cast `as {ty}`"));
                         }
+                    }
+                }
+                "lcf_telemetry" if rules.telemetry_hygiene && !sf.parsed.in_telemetry_gate(idx) => {
+                    push(
+                        rules::TELEMETRY_HYGIENE,
+                        "use of lcf_telemetry outside #[cfg(feature = \"telemetry\")]".to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if rules.rng_stream {
+        rng_stream_pass(sf, findings);
+    }
+}
+
+/// The `rng-stream` rule: for every non-test fn, walk the body tracking
+/// which scopes are conditional (opened by `if`/`else`/`match`/`while`/
+/// `loop`, or a lazy combinator's argument list) and flag any RNG draw at
+/// conditional depth > 0. `for` bodies are deliberately *not* conditional:
+/// iterating a data-independent range and drawing once per element is the
+/// documented bulk pattern. Draws in an `if` condition or `match`
+/// scrutinee execute unconditionally and are correctly not flagged.
+fn rng_stream_pass(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    for f in &sf.parsed.fns {
+        if f.gates.test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        if sf.fn_allowed(rules::RNG_STREAM, f) {
+            continue;
+        }
+        let nested = sf.nested_fn_spans(body);
+        let mut brace_cond: Vec<bool> = Vec::new();
+        let mut paren_cond: Vec<bool> = Vec::new();
+        let mut cond_level = 0usize;
+        let mut pending_cond = false;
+        let mut pending_comb = false;
+        let mut idx = body.0 + 1;
+        while idx < body.1 {
+            if let Some(&(_, b)) = nested.iter().find(|&&(a, _)| a == idx) {
+                idx = b + 1;
+                continue;
+            }
+            let line = sf.toks[idx].line;
+            let next = sf.toks.get(idx + 1).map(|s| &s.tok);
+            let prev_is_fn = idx > 0 && matches!(&sf.toks[idx - 1].tok, Tok::Ident(p) if p == "fn");
+            match &sf.toks[idx].tok {
+                Tok::Ident(id)
+                    if matches!(id.as_str(), "if" | "else" | "match" | "while" | "loop") =>
+                {
+                    pending_cond = true;
+                }
+                Tok::Ident(id)
+                    if DRAW_FNS.contains(&id.as_str())
+                        && next == Some(&Tok::Punct('('))
+                        && !prev_is_fn
+                        && cond_level > 0
+                        && !sf.allowed(rules::RNG_STREAM, line) =>
+                {
+                    findings.push(Finding {
+                        file: sf.label.clone(),
+                        line,
+                        rule: rules::RNG_STREAM,
+                        excerpt: format!(
+                            "branch-dependent RNG draw `{id}` in `{}` — document the \
+                             draw-count contract with lint:allow(rng-stream): ...",
+                            f.name
+                        ),
+                    });
+                }
+                Tok::Ident(id)
+                    if LAZY_COMBINATORS.contains(&id.as_str())
+                        && next == Some(&Tok::Punct('(')) =>
+                {
+                    pending_comb = true;
+                }
+                Tok::Punct('{') => {
+                    brace_cond.push(pending_cond);
+                    if pending_cond {
+                        cond_level += 1;
+                    }
+                    pending_cond = false;
+                }
+                Tok::Punct('}') => {
+                    let was_cond = brace_cond.pop() == Some(true);
+                    if was_cond {
+                        cond_level = cond_level.saturating_sub(1);
+                    }
+                }
+                Tok::Punct('(') => {
+                    paren_cond.push(pending_comb);
+                    if pending_comb {
+                        cond_level += 1;
+                    }
+                    pending_comb = false;
+                }
+                Tok::Punct(')') => {
+                    let was_comb = paren_cond.pop() == Some(true);
+                    if was_comb {
+                        cond_level = cond_level.saturating_sub(1);
                     }
                 }
                 _ => {}
             }
+            idx += 1;
         }
-        i += 1;
     }
-
-    findings
 }
 
-/// Skips one item starting at token `i` (just past its attributes): either
-/// a declaration ending in `;` before any brace, or a braced body. Also
-/// consumes any further attributes (`#[test] #[should_panic] fn ...`).
-fn skip_item(toks: &[Spanned], mut i: usize) -> usize {
-    let n = toks.len();
-    // Further attributes on the same item.
-    while i + 1 < n && toks[i].tok == Tok::Punct('#') && toks[i + 1].tok == Tok::Punct('[') {
-        let mut depth = 1;
-        i += 2;
-        while i < n && depth > 0 {
-            match toks[i].tok {
-                Tok::Punct('[') => depth += 1,
-                Tok::Punct(']') => depth -= 1,
-                _ => {}
-            }
-            i += 1;
-        }
+/// The call-graph `hot-path-alloc` pass: every fn named in [`HOT_FNS`]
+/// (with a body, not test-gated, in a file where the rule is enabled) is
+/// a root. Its own body is scanned for allocation patterns, and every
+/// same-group fn it calls — `helper(...)`, `self.helper(...)` or
+/// `Type::helper(...)` — is scanned one level deep, closing the "extract
+/// a helper, hide the allocation" loophole. Callees that are themselves
+/// hot fns are skipped (they are roots in their own right).
+fn hot_path_pass(files: &[(SourceFile, RuleSet)], findings: &mut Vec<Finding>) {
+    let enabled: Vec<&SourceFile> = files
+        .iter()
+        .filter(|(_, r)| r.hot_path_alloc)
+        .map(|(sf, _)| sf)
+        .collect();
+    if enabled.is_empty() {
+        return;
     }
-    let mut depth = 0usize;
-    while i < n {
-        match toks[i].tok {
-            Tok::Punct(';') if depth == 0 => return i + 1,
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
+    // (file label, line) pairs already reported, so a helper shared by two
+    // hot callers (or called twice) is flagged once.
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for root_sf in &enabled {
+        for root in &root_sf.parsed.fns {
+            if !HOT_FNS.contains(&root.name.as_str()) || root.gates.test {
+                continue;
+            }
+            let Some(body) = root.body else { continue };
+            alloc_scan(root_sf, body, None, &mut seen, findings);
+            for (qual, cname) in callees(root_sf, body) {
+                if HOT_FNS.contains(&cname.as_str()) {
+                    continue;
+                }
+                // `Self::helper(...)` resolves to the root's own impl type.
+                let qual = match qual.as_deref() {
+                    Some("Self") => root.owner.clone(),
+                    _ => qual,
+                };
+                for callee_sf in &enabled {
+                    for g in &callee_sf.parsed.fns {
+                        if g.name != cname || g.gates.test {
+                            continue;
+                        }
+                        if let Some(q) = &qual {
+                            if g.owner.as_deref() != Some(q.as_str()) {
+                                continue;
+                            }
+                        }
+                        let Some(gbody) = g.body else { continue };
+                        alloc_scan(
+                            callee_sf,
+                            gbody,
+                            Some((&g.name, &root.name)),
+                            &mut seen,
+                            findings,
+                        );
+                    }
                 }
             }
-            _ => {}
         }
-        i += 1;
     }
-    n
+}
+
+/// Collects `(qualifier, name)` call targets from a body: an ident
+/// followed by `(` that is not a definition (`fn name(`), with
+/// `Type::name(` captured as qualified.
+fn callees(sf: &SourceFile, body: (usize, usize)) -> Vec<(Option<String>, String)> {
+    let nested = sf.nested_fn_spans(body);
+    let mut out = Vec::new();
+    let mut idx = body.0 + 1;
+    while idx < body.1 {
+        if let Some(&(_, b)) = nested.iter().find(|&&(a, _)| a == idx) {
+            idx = b + 1;
+            continue;
+        }
+        if let Tok::Ident(name) = &sf.toks[idx].tok {
+            let next_is_paren = sf.toks.get(idx + 1).map(|s| &s.tok) == Some(&Tok::Punct('('));
+            let prev_is_fn = idx > 0 && matches!(&sf.toks[idx - 1].tok, Tok::Ident(p) if p == "fn");
+            if next_is_paren && !prev_is_fn {
+                let qual = if idx >= 3
+                    && sf.toks[idx - 1].tok == Tok::Punct(':')
+                    && sf.toks[idx - 2].tok == Tok::Punct(':')
+                {
+                    match &sf.toks[idx - 3].tok {
+                        Tok::Ident(owner) => Some(owner.clone()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                out.push((qual, name.clone()));
+            }
+        }
+        idx += 1;
+    }
+    out
+}
+
+/// Scans one fn body for the allocation patterns (`Matching::new`,
+/// `vec![...]`, `with_capacity`). `ctx` is `Some((callee, root))` when the
+/// body is a callee reached from a hot root, which changes the excerpt to
+/// name the call chain.
+fn alloc_scan(
+    sf: &SourceFile,
+    body: (usize, usize),
+    ctx: Option<(&str, &str)>,
+    seen: &mut BTreeSet<(String, usize)>,
+    findings: &mut Vec<Finding>,
+) {
+    let nested = sf.nested_fn_spans(body);
+    let mut idx = body.0 + 1;
+    while idx < body.1 {
+        if let Some(&(_, b)) = nested.iter().find(|&&(a, _)| a == idx) {
+            idx = b + 1;
+            continue;
+        }
+        let line = sf.toks[idx].line;
+        let next = sf.toks.get(idx + 1).map(|s| &s.tok);
+        let pattern: Option<&str> = match &sf.toks[idx].tok {
+            Tok::Ident(id) if id == "Matching" => {
+                let m_new = sf.toks.get(idx + 1).map(|s| &s.tok) == Some(&Tok::Punct(':'))
+                    && sf.toks.get(idx + 2).map(|s| &s.tok) == Some(&Tok::Punct(':'))
+                    && matches!(sf.toks.get(idx + 3).map(|s| &s.tok),
+                        Some(Tok::Ident(m)) if m == "new");
+                m_new.then_some("Matching::new")
+            }
+            Tok::Ident(id) if id == "vec" && next == Some(&Tok::Punct('!')) => {
+                Some("vec! allocation")
+            }
+            Tok::Ident(id) if id == "with_capacity" => Some("with_capacity allocation"),
+            _ => None,
+        };
+        if let Some(pat) = pattern {
+            if !sf.allowed(rules::HOT_PATH_ALLOC, line) && seen.insert((sf.label.clone(), line)) {
+                let excerpt = match ctx {
+                    None => format!("{pat} in a hot function"),
+                    Some((callee, root)) => {
+                        format!("{pat} in `{callee}` called from hot `{root}`")
+                    }
+                };
+                findings.push(Finding {
+                    file: sf.label.clone(),
+                    line,
+                    rule: rules::HOT_PATH_ALLOC,
+                    excerpt,
+                });
+            }
+        }
+        idx += 1;
+    }
 }
 
 #[cfg(test)]
@@ -745,6 +803,17 @@ mod tests {
     }
 
     #[test]
+    fn cfg_attr_test_does_not_gate() {
+        // `cfg_attr(test, ...)` only adds an attribute under test; the item
+        // itself is live in production and must stay linted. The old
+        // line-scanner got this wrong.
+        let src = format!(
+            "{PREAMBLE}#[cfg_attr(test, allow(dead_code))]\nfn live() {{ Some(1).unwrap(); }}\n"
+        );
+        assert_eq!(rules_of(&lint_all(&src)), [rules::NO_PANIC]);
+    }
+
+    #[test]
     fn allow_tag_suppresses_same_and_next_line() {
         let trailing = format!(
             "{PREAMBLE}fn f() {{ Some(1).unwrap(); }} // lint:allow(no-panic): invariant documented here\n"
@@ -812,6 +881,8 @@ mod tests {
         assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
     }
 
+    // ---- hot-path-alloc ----
+
     #[test]
     fn hot_path_alloc_flags_allocation_in_hot_fns() {
         let src = format!(
@@ -874,6 +945,275 @@ mod tests {
             "{PREAMBLE}fn step(&mut self) {{\n\
              // lint:allow(hot-path-alloc): one-time lazy growth, amortized to zero\n\
              let v = vec![0; 8];\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_follows_bare_calls_one_level() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ self.refill(); }}\n\
+             fn refill(&mut self) {{ self.buf = vec![0; self.n]; }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+        assert!(
+            f[0].excerpt.contains("`refill` called from hot `step`"),
+            "{}",
+            f[0].excerpt
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_follows_qualified_calls_with_owner_match() {
+        let src = format!(
+            "{PREAMBLE}impl A {{ fn grow(&mut self) {{ let v = Vec::with_capacity(9); }} }}\n\
+             impl B {{ fn grow(&mut self) {{ let x = 1; }} }}\n\
+             fn step(&mut self) {{ B::grow(); }}\n"
+        );
+        // Only B::grow is called; A::grow's allocation must not fire.
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+        let src2 = format!(
+            "{PREAMBLE}impl A {{ fn grow(&mut self) {{ let v = Vec::with_capacity(9); }} }}\n\
+             fn step(&mut self) {{ A::grow(); }}\n"
+        );
+        let f = lint_all(&src2);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+        assert!(f[0].excerpt.contains("`grow` called from hot `step`"));
+    }
+
+    #[test]
+    fn hot_path_alloc_cross_file_same_group() {
+        let hot = SourceFile::parse(
+            "a.rs",
+            "#![forbid(unsafe_code)]\nfn schedule_into(&mut self) { helper(); }\n",
+        );
+        let cold = SourceFile::parse(
+            "b.rs",
+            "#![forbid(unsafe_code)]\nfn helper() { let v = vec![0; 4]; }\n",
+        );
+        let f = lint_files(&[(hot, RuleSet::all()), (cold, RuleSet::all())]);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+        assert_eq!(f[0].file, "b.rs");
+        assert!(f[0]
+            .excerpt
+            .contains("`helper` called from hot `schedule_into`"));
+    }
+
+    #[test]
+    fn hot_path_alloc_uncalled_helper_not_flagged() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ self.tick(); }}\n\
+             fn tick(&mut self) {{}}\n\
+             fn resize(&mut self) {{ let v = vec![0; 4]; }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_callee_tag_suppresses() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ self.spill(); }}\n\
+             fn spill(&mut self) {{\n\
+             // lint:allow(hot-path-alloc): cold error path, runs at most once per run\n\
+             let v = vec![0; 4];\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn hot_path_alloc_shared_helper_reported_once() {
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ self.grow(); }}\n\
+             fn schedule_into(&mut self) {{ self.grow(); }}\n\
+             fn grow(&mut self) {{ let v = vec![0; 4]; }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+    }
+
+    #[test]
+    fn hot_path_alloc_skips_hot_callees_as_callees() {
+        // `step` calling `schedule_into` must not double-report: the callee
+        // is a root itself.
+        let src = format!(
+            "{PREAMBLE}fn step(&mut self) {{ self.schedule_into(); }}\n\
+             fn schedule_into(&mut self) {{ let v = vec![0; 4]; }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+        assert!(f[0].excerpt.contains("in a hot function"));
+    }
+
+    // ---- rng-stream ----
+
+    #[test]
+    fn rng_stream_flags_draw_in_if_arm() {
+        let src = format!(
+            "{PREAMBLE}fn arrival(&mut self, rng: &mut SimRng) -> Option<usize> {{\n\
+             if self.active {{ Some(rng.gen_range(0..self.n)) }} else {{ None }}\n\
+             }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::RNG_STREAM]);
+        assert!(f[0].excerpt.contains("gen_range"));
+        assert!(f[0].excerpt.contains("`arrival`"));
+    }
+
+    #[test]
+    fn rng_stream_flags_draw_in_match_arm() {
+        let src = format!(
+            "{PREAMBLE}fn sample(&mut self, rng: &mut SimRng) -> usize {{\n\
+             match self.mode {{ Mode::U => rng.gen_range(0..4), Mode::C => 0 }}\n\
+             }}\n"
+        );
+        assert_eq!(rules_of(&lint_all(&src)), [rules::RNG_STREAM]);
+    }
+
+    #[test]
+    fn rng_stream_flags_draw_in_lazy_combinator() {
+        let src = format!(
+            "{PREAMBLE}fn arrival(&mut self, rng: &mut SimRng) -> Option<usize> {{\n\
+             self.gate(rng).then(|| self.dest.sample(rng))\n\
+             }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::RNG_STREAM]);
+        assert!(f[0].excerpt.contains("sample"));
+    }
+
+    #[test]
+    fn rng_stream_flags_draw_in_rejection_loop() {
+        let src = format!(
+            "{PREAMBLE}fn draw(&self, rng: &mut R) -> u32 {{\n\
+             loop {{ let x = rng.next_u32(); if x < self.zone {{ return x; }} }}\n\
+             }}\n"
+        );
+        assert_eq!(rules_of(&lint_all(&src)), [rules::RNG_STREAM]);
+    }
+
+    #[test]
+    fn rng_stream_unconditional_draws_pass() {
+        let src = format!(
+            "{PREAMBLE}fn sample(&mut self, rng: &mut SimRng) -> usize {{\n\
+             let raw = rng.next_u32();\n\
+             let d = rng.gen_range(0..self.n);\n\
+             d + raw as usize\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn rng_stream_condition_and_scrutinee_draws_pass() {
+        // A draw *in* the condition or scrutinee executes unconditionally.
+        let src = format!(
+            "{PREAMBLE}fn arrival(&mut self, rng: &mut SimRng) -> usize {{\n\
+             if rng.gen_bool(self.p) {{ self.hits += 1; }}\n\
+             match rng.gen_range(0..4) {{ 0 => 1, _ => 2 }}\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn rng_stream_for_loop_draws_pass() {
+        // One draw per element of a data-independent range is the
+        // documented bulk pattern, not a branch dependence.
+        let src = format!(
+            "{PREAMBLE}fn fill(&mut self, rng: &mut SimRng, out: &mut [u32]) {{\n\
+             for slot in out.iter_mut() {{ *slot = rng.next_u32(); }}\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn rng_stream_fn_level_tag_covers_whole_body() {
+        let src = format!(
+            "{PREAMBLE}// lint:allow(rng-stream): draws 1 gate word + 1 dest word per arrival\n\
+             fn arrival(&mut self, rng: &mut SimRng) -> Option<usize> {{\n\
+             if self.gate(rng) {{ Some(rng.gen_range(0..self.n)) }} else {{ None }}\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn rng_stream_tag_on_one_fn_does_not_cover_the_next() {
+        let src = format!(
+            "{PREAMBLE}// lint:allow(rng-stream): draws 0 or 1 dest words per slot\n\
+             fn a(&mut self, rng: &mut R) {{ if x {{ rng.gen_range(0..2); }} }}\n\
+             fn b(&mut self, rng: &mut R) {{ if x {{ rng.gen_range(0..2); }} }}\n"
+        );
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::RNG_STREAM]);
+        assert!(f[0].excerpt.contains("`b`"));
+    }
+
+    #[test]
+    fn rng_stream_test_fns_are_skipped() {
+        let src = format!(
+            "{PREAMBLE}#[cfg(test)]\nmod tests {{\n\
+             fn t(rng: &mut R) {{ if x {{ rng.gen_range(0..2); }} }}\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    // ---- telemetry-hygiene ----
+
+    #[test]
+    fn telemetry_use_outside_gate_flagged() {
+        let src = format!("{PREAMBLE}use lcf_telemetry::Event;\n");
+        let f = lint_all(&src);
+        assert_eq!(rules_of(&f), [rules::TELEMETRY_HYGIENE]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn telemetry_use_behind_item_gate_passes() {
+        let src = format!(
+            "{PREAMBLE}#[cfg(feature = \"telemetry\")]\nuse lcf_telemetry::Event;\n\
+             #[cfg(feature = \"telemetry\")]\nfn probe(e: lcf_telemetry::Event) {{}}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn telemetry_use_behind_statement_gate_passes() {
+        let src = format!(
+            "{PREAMBLE}fn f(&mut self) {{\n\
+             #[cfg(feature = \"telemetry\")]\n\
+             {{ self.events.push(lcf_telemetry::Event::Grant); }}\n\
+             }}\n"
+        );
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn telemetry_use_behind_not_gate_flagged() {
+        let src =
+            format!("{PREAMBLE}#[cfg(not(feature = \"telemetry\"))]\nuse lcf_telemetry::Stub;\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::TELEMETRY_HYGIENE]);
+    }
+
+    #[test]
+    fn telemetry_use_in_tests_passes() {
+        let src = format!("{PREAMBLE}#[cfg(test)]\nmod tests {{ use lcf_telemetry::Event; }}\n");
+        assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));
+    }
+
+    #[test]
+    fn telemetry_gated_trait_method_param_passes() {
+        // The `drain_events` idiom: a telemetry-gated default trait method
+        // whose signature mentions lcf_telemetry.
+        let src = format!(
+            "{PREAMBLE}trait Scheduler {{\n\
+             #[cfg(feature = \"telemetry\")]\n\
+             fn drain_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {{}}\n\
              }}\n"
         );
         assert!(lint_all(&src).is_empty(), "{:?}", lint_all(&src));

@@ -4,21 +4,30 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p lcf-lint              # lint the whole workspace (scoped rules)
-//! cargo run -p lcf-lint -- FILE...   # lint specific files with ALL rules
+//! cargo run -p lcf-lint                    # lint the whole workspace (scoped rules)
+//! cargo run -p lcf-lint -- FILE...         # lint specific files with ALL rules
+//! cargo run -p lcf-lint -- --format github # emit ::error annotations for CI
 //! cargo run -p lcf-lint -- --self-test
 //! ```
 //!
 //! Exits non-zero iff any finding is reported (or the self-test fails).
+//!
+//! Workspace mode parses every file first, then lints **per crate**, so
+//! the call-graph `hot-path-alloc` rule can follow `schedule_into` →
+//! helper calls across sibling modules. Parent-file `mod` declarations
+//! are honored: a module declared behind `#[cfg(feature = "telemetry")]`
+//! (like `core/src/telemetry.rs`) is exempt from `telemetry-hygiene`,
+//! and a module declared behind `#[cfg(test)]` is skipped entirely.
 
 #![forbid(unsafe_code)]
 
-use lcf_lint::{lint_source, rules, Finding, RuleSet};
+use lcf_lint::{lint_files, lint_source, rules, Finding, RuleSet, SourceFile};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// The seeded-violation fixture, embedded so `--self-test` needs no path
-/// guessing. One line per rule, plus a correctly allowlisted line that must
-/// NOT fire.
+/// guessing. At least one violation per rule family, plus correctly
+/// tagged/gated constructs that must NOT fire.
 const SELF_TEST_FIXTURE: &str = include_str!("../fixtures/seeded.rs");
 
 /// Directories never linted: build output, VCS metadata, stored baselines,
@@ -34,40 +43,69 @@ const SKIP_DIRS: [&str; 7] = [
     "examples",
 ];
 
+/// Output format for findings.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// `file:line: [rule] excerpt` lines.
+    Plain,
+    /// GitHub Actions `::error file=...,line=...` annotations, so findings
+    /// surface inline on PRs.
+    Github,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = if args.iter().any(|a| a == "--self-test") {
+    let mut format = Format::Plain;
+    let mut files: Vec<String> = Vec::new();
+    let mut self_test_mode = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--self-test" => self_test_mode = true,
+            "--format" => match it.next().as_deref() {
+                Some("github") => format = Format::Github,
+                Some("plain") => format = Format::Plain,
+                other => {
+                    eprintln!("lcf-lint: unknown format {other:?} (expected github|plain)");
+                    std::process::exit(2);
+                }
+            },
+            _ => files.push(a),
+        }
+    }
+    let code = if self_test_mode {
         self_test()
-    } else if args.is_empty() {
-        lint_workspace()
+    } else if files.is_empty() {
+        lint_workspace(format)
     } else {
-        lint_files(&args)
+        lint_file_args(&files, format)
     };
     std::process::exit(code);
 }
 
 /// Lints the whole workspace with path-scoped rules. Returns the exit code.
-fn lint_workspace() -> i32 {
+fn lint_workspace(format: Format) -> i32 {
     let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root, &mut files);
-    files.sort();
+    let mut paths = Vec::new();
+    collect_rs_files(&root, &mut paths);
+    paths.sort();
 
+    // Parse every in-scope file up front.
     let mut findings = Vec::new();
-    let mut checked = 0usize;
-    for path in &files {
+    let mut parsed: Vec<(SourceFile, RuleSet)> = Vec::new();
+    for path in &paths {
         let label = path
             .strip_prefix(&root)
             .unwrap_or(path)
             .display()
-            .to_string();
+            .to_string()
+            .replace('\\', "/");
         let ruleset = scope_for(&label);
         if ruleset.is_empty() {
             continue;
         }
-        checked += 1;
         match std::fs::read_to_string(path) {
-            Ok(src) => findings.extend(lint_source(&label, &src, &ruleset)),
+            Ok(src) => parsed.push((SourceFile::parse(&label, &src), ruleset)),
             Err(e) => findings.push(Finding {
                 file: label,
                 line: 0,
@@ -76,11 +114,77 @@ fn lint_workspace() -> i32 {
             }),
         }
     }
-    report(checked, &findings)
+
+    // Honor cfg gates on parent-file `mod` declarations: a child file whose
+    // declaration is telemetry-gated may use lcf_telemetry freely; one whose
+    // declaration is test-gated is test-only code and skipped entirely.
+    let mut telemetry_gated: Vec<String> = Vec::new();
+    let mut test_gated: Vec<String> = Vec::new();
+    for (sf, _) in &parsed {
+        let dir = match sf.label.rsplit_once('/') {
+            Some((d, name)) => {
+                // `foo.rs` declares children in `foo/`; `lib.rs`, `main.rs`
+                // and `mod.rs` declare children in their own directory.
+                if matches!(name, "lib.rs" | "main.rs" | "mod.rs") {
+                    d.to_string()
+                } else {
+                    format!("{d}/{}", name.trim_end_matches(".rs"))
+                }
+            }
+            None => String::new(),
+        };
+        for m in sf.mod_decls() {
+            for child in [
+                format!("{dir}/{}.rs", m.name),
+                format!("{dir}/{}/mod.rs", m.name),
+            ] {
+                if m.gates.telemetry {
+                    telemetry_gated.push(child.clone());
+                }
+                if m.gates.test {
+                    test_gated.push(child);
+                }
+            }
+        }
+    }
+    parsed.retain(|(sf, _)| !test_gated.contains(&sf.label));
+    for (sf, ruleset) in &mut parsed {
+        if telemetry_gated.contains(&sf.label) {
+            ruleset.telemetry_hygiene = false;
+        }
+    }
+
+    // Lint per crate so the call-graph pass sees each crate whole.
+    let mut groups: BTreeMap<String, Vec<(SourceFile, RuleSet)>> = BTreeMap::new();
+    for (sf, ruleset) in parsed {
+        groups
+            .entry(crate_key(&sf.label))
+            .or_default()
+            .push((sf, ruleset));
+    }
+    let mut checked = 0usize;
+    for group in groups.values() {
+        checked += group.len();
+        findings.extend(lint_files(group));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report(checked, &findings, format)
+}
+
+/// The crate a workspace-relative path belongs to (its top two path
+/// components), the grouping unit for the call-graph pass.
+fn crate_key(label: &str) -> String {
+    let mut parts = label.split('/');
+    match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) if b.contains('.') => a.to_string(),
+        (Some(a), Some(b)) => format!("{a}/{b}"),
+        (Some(a), None) => a.to_string(),
+        _ => String::new(),
+    }
 }
 
 /// Lints explicitly named files with every rule enabled.
-fn lint_files(paths: &[String]) -> i32 {
+fn lint_file_args(paths: &[String], format: Format) -> i32 {
     let mut findings = Vec::new();
     for p in paths {
         match std::fs::read_to_string(p) {
@@ -93,13 +197,19 @@ fn lint_files(paths: &[String]) -> i32 {
             }),
         }
     }
-    report(paths.len(), &findings)
+    report(paths.len(), &findings, format)
 }
 
 /// Prints findings (if any) and the summary line; returns the exit code.
-fn report(checked: usize, findings: &[Finding]) -> i32 {
+fn report(checked: usize, findings: &[Finding], format: Format) -> i32 {
     for f in findings {
-        println!("{f}");
+        match format {
+            Format::Plain => println!("{f}"),
+            Format::Github => println!(
+                "::error file={},line={},title=lcf-lint {}::{}",
+                f.file, f.line, f.rule, f.excerpt
+            ),
+        }
     }
     if findings.is_empty() {
         println!("lcf-lint: {checked} files checked, no findings");
@@ -113,8 +223,11 @@ fn report(checked: usize, findings: &[Finding]) -> i32 {
     }
 }
 
-/// Verifies the analyzer against the embedded seeded fixture: every content
-/// rule must fire at least once, and the allowlisted violation must not.
+/// Verifies the analyzer against the embedded seeded fixture: every rule
+/// family must fire at least once, the call-graph rule must report the
+/// helper reached *from* a hot fn, each new rule family must fire exactly
+/// once (proving the tagged/gated negative cases are honored), and the
+/// allowlisted violations must not fire.
 fn self_test() -> i32 {
     let findings = lint_source("fixtures/seeded.rs", SELF_TEST_FIXTURE, &RuleSet::all());
     let mut failures = Vec::new();
@@ -127,11 +240,30 @@ fn self_test() -> i32 {
         failures.push("allowlisted `as u16` cast fired despite its lint:allow tag".to_string());
     }
     if findings.iter().any(|f| f.rule == rules::BAD_ALLOW_TAG) {
-        failures.push("fixture's allow tag was rejected as malformed".to_string());
+        failures.push("fixture's allow tags were rejected as malformed".to_string());
+    }
+    if !findings
+        .iter()
+        .any(|f| f.rule == rules::HOT_PATH_ALLOC && f.excerpt.contains("called from hot"))
+    {
+        failures.push(
+            "call-graph hot-path-alloc did not reach the helper hidden behind a call".to_string(),
+        );
+    }
+    // Exactly one finding per new rule family: the seeded violation fires,
+    // the tagged fn / feature-gated use does not.
+    for rule in [rules::RNG_STREAM, rules::TELEMETRY_HYGIENE] {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        if n != 1 {
+            failures.push(format!(
+                "rule `{rule}` fired {n} times on the fixture (expected exactly 1: \
+                 the seeded violation, with the negative case suppressed)"
+            ));
+        }
     }
     if failures.is_empty() {
         println!(
-            "lcf-lint self-test: ok ({} findings, all {} rules fired, allow tag honored)",
+            "lcf-lint self-test: ok ({} findings, all {} rules fired, tags and gates honored)",
             findings.len(),
             rules::ALL.len()
         );
@@ -149,43 +281,74 @@ fn self_test() -> i32 {
 
 /// Maps a workspace-relative path to the rules that govern it.
 ///
-/// * `forbid-unsafe` — every crate root (`src/lib.rs` / `src/main.rs`)
-///   across `crates/`, `compat/` and the root package.
-/// * `hash-collections`, `wall-clock` — deterministic simulation code:
-///   core, sim, fabric, clint, telemetry. (The compat shims are exempt:
-///   `criterion` legitimately measures wall-clock time.)
-/// * `no-panic` — library code of core, sim and telemetry.
+/// * `forbid-unsafe` — every crate root (`src/lib.rs` / `src/main.rs` /
+///   `src/bin/*.rs`) across `crates/`, `compat/` and the root package.
+/// * `hash-collections` — everything deterministic plus the bench/cli
+///   harnesses (report ordering must be stable too): core, sim, fabric,
+///   clint, telemetry, hw, bench, cli, rng. (The lint crate itself is
+///   exempt: its docs and tests quote rule words illustratively.)
+/// * `wall-clock` — deterministic simulation code: core, sim, fabric,
+///   clint, telemetry, hw, and the bench harness (bench re-measures live
+///   in `bench_guard` and carries scoped tags for it; the compat shims
+///   are exempt because `criterion` legitimately measures wall-clock
+///   time).
+/// * `no-panic` — library code of core, sim, telemetry, fabric, clint
+///   and hw.
 /// * `truncating-cast` — core, sim and fabric, where narrow casts could
-///   silently truncate port indices. (clint packs protocol fields into
-///   fixed-width wire formats and is exempt.)
+///   silently truncate port indices. (clint and hw pack protocol/RTL
+///   fields into fixed-width wire formats and are exempt.)
 /// * `hot-path-alloc` — core and sim, where `schedule_into` /
-///   `schedule_weighted_into` / `step` bodies are the per-slot hot path.
+///   `schedule_weighted_into` / `step` and everything they call is the
+///   per-slot hot path.
+/// * `rng-stream` — the RNG crate and the sim traffic generators, which
+///   own the frozen keystream contracts.
+/// * `telemetry-hygiene` — every crate that consumes `lcf_telemetry`
+///   behind the default-off feature: core, sim, clint, cli. (The
+///   telemetry crate itself defines the symbols.)
 fn scope_for(label: &str) -> RuleSet {
     let l = label.replace('\\', "/");
-    let is_crate_root = l.ends_with("src/lib.rs") || l.ends_with("src/main.rs");
-    let deterministic = [
+    let in_any = |prefixes: &[&str]| prefixes.iter().any(|p| l.starts_with(p));
+    let is_crate_root = l.ends_with("src/lib.rs")
+        || l.ends_with("src/main.rs")
+        || (l.contains("/src/bin/") && l.ends_with(".rs"));
+    let deterministic = in_any(&[
         "crates/core/",
         "crates/sim/",
         "crates/fabric/",
         "crates/clint/",
         "crates/telemetry/",
-    ]
-    .iter()
-    .any(|p| l.starts_with(p));
-    let no_panic_scope = l.starts_with("crates/core/")
-        || l.starts_with("crates/sim/")
-        || l.starts_with("crates/telemetry/");
-    let cast_scope = l.starts_with("crates/core/")
-        || l.starts_with("crates/sim/")
-        || l.starts_with("crates/fabric/");
-    let hot_scope = l.starts_with("crates/core/") || l.starts_with("crates/sim/");
+        "crates/hw/",
+    ]);
+    // The lint crate itself is out of content scope: its docs and tests
+    // quote rule words and allow tags illustratively.
+    let hash_scope = deterministic || in_any(&["crates/bench/", "crates/cli/", "crates/rng/"]);
+    let wall_scope = deterministic || l.starts_with("crates/bench/");
+    let no_panic_scope = in_any(&[
+        "crates/core/",
+        "crates/sim/",
+        "crates/telemetry/",
+        "crates/fabric/",
+        "crates/clint/",
+        "crates/hw/",
+    ]);
+    let cast_scope = in_any(&["crates/core/", "crates/sim/", "crates/fabric/"]);
+    let hot_scope = in_any(&["crates/core/", "crates/sim/"]);
+    let rng_stream_scope = l.starts_with("crates/rng/") || l == "crates/sim/src/traffic.rs";
+    let telemetry_scope = in_any(&[
+        "crates/core/",
+        "crates/sim/",
+        "crates/clint/",
+        "crates/cli/",
+    ]);
     RuleSet {
-        hash_collections: deterministic,
-        wall_clock: deterministic,
+        hash_collections: hash_scope,
+        wall_clock: wall_scope,
         no_panic: no_panic_scope,
         truncating_cast: cast_scope,
         forbid_unsafe: is_crate_root,
         hot_path_alloc: hot_scope,
+        rng_stream: rng_stream_scope,
+        telemetry_hygiene: telemetry_scope,
     }
 }
 

@@ -155,6 +155,7 @@ impl CioqSwitch {
                     self.requests.set(i, j, avail);
                 }
             }
+            // lint:allow(hot-path-alloc): free is pre-sized to (sched_latency+1)*speedup at construction and recycled every slot, so this fallback is unreachable
             let mut m = self.free.pop().unwrap_or_else(|| Matching::new(n));
             self.scheduler.schedule_into(&self.requests, &mut m);
             for (i, j) in m.pairs() {

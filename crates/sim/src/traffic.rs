@@ -77,6 +77,7 @@ pub enum DestPattern {
 
 impl DestPattern {
     /// Samples a destination for a packet generated at `input`.
+    // lint:allow(rng-stream): frozen paper_default contract - Uniform/Permutation draw 1 word, Hotspot 2, Diagonal 1 gate word + 1 word on the off-diagonal branch (see module docs)
     pub fn sample(&self, n: usize, input: usize, rng: &mut StdRng) -> usize {
         match self {
             DestPattern::Uniform => rng.gen_range(0..n),
@@ -170,6 +171,7 @@ impl Traffic for Bernoulli {
         self.n
     }
 
+    // lint:allow(rng-stream): frozen paper_default contract - 1 gate word per (slot, input), plus the pattern draw only on arrival
     fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
         rng.gen_bool(self.load)
             .then(|| self.pattern.sample(self.n, input, rng))
@@ -235,6 +237,7 @@ impl Traffic for OnOffBursty {
         self.n
     }
 
+    // lint:allow(rng-stream): frozen paper_default contract - 1 state-transition word per (slot, input), plus 1 destination draw when a burst starts (see module docs)
     fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
         match self.state[input] {
             BurstState::Off => {
@@ -318,6 +321,7 @@ impl FastDest {
     }
 
     #[inline]
+    // lint:allow(rng-stream): mirrors DestPattern::sample word-for-word - Uniform/Permutation 1 word plus Lemire rejections, Hotspot 2, Diagonal 1+1 (equivalence enforced by tests)
     fn sample(&self, n: usize, input: usize, rng: &mut StdRng) -> usize {
         match self {
             FastDest::Uniform(u) => u.sample(|| rng.next_u32()) as usize,
@@ -416,6 +420,7 @@ impl Traffic for FastBernoulli {
         self.n
     }
 
+    // lint:allow(rng-stream): documented fast-kernel contract - Split draws 1 gate word plus dest words on arrival; Fused draws exactly 1 word per (slot, input)
     fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
         match &self.kernel {
             FastArrival::Split { gate, dest } => gate
@@ -432,6 +437,7 @@ impl Traffic for FastBernoulli {
         }
     }
 
+    // lint:allow(rng-stream): documented fast-kernel contract - same per-input word counts as arrival, batched over all n inputs in input order
     fn arrivals_into(&mut self, _slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
         assert_eq!(out.len(), self.n);
         match &self.kernel {
@@ -494,6 +500,7 @@ impl Traffic for FastBursty {
         self.n
     }
 
+    // lint:allow(rng-stream): documented fast-kernel contract - 1 state word per (slot, input), plus dest words only when a burst starts
     fn arrival(&mut self, _slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
         match self.state[input] {
             BurstState::Off => {
