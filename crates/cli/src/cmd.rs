@@ -2,7 +2,7 @@
 //! string so the whole surface is unit-testable.
 
 use crate::args::{parse_requests, Args};
-use lcf_core::registry::SchedulerKind;
+use lcf_core::registry::{SchedulerKind, WeightedKind};
 use lcf_core::request::RequestMatrix;
 use lcf_fabric::clos::ClosNetwork;
 use lcf_fabric::cost::optimal_clos;
@@ -49,7 +49,10 @@ pub fn help() -> String {
      \x20            [--loss 0.1] [--load 0.3] [--timeout 16] [--slots 20000]\n\
      \n\
      Scheduler names: lcf_central lcf_central_rr lcf_dist lcf_dist_rr pim\n\
-     islip wfront fifo maxsize (plus `outbuf`, `lqf`, `ocf` for simulate).\n"
+     islip wfront fifo maxsize mwm (plus `outbuf` for simulate/sweep, and\n\
+     the weighted schedulers `lqf` `ocf` `nwgreedy` `mwm` for simulate —\n\
+     there `mwm` runs queue-length-weighted; in schedule/sweep it is the\n\
+     unit-weight reference matcher).\n"
         .to_string()
 }
 
@@ -219,9 +222,12 @@ pub fn schedule(args: &Args) -> Result<String, String> {
 pub fn simulate(args: &Args) -> Result<String, String> {
     let name = args.get("scheduler").unwrap_or("lcf_central_rr");
     // The weighted schedulers live outside the Fig. 12 registry; they get
-    // a dedicated simulation loop with identical semantics.
-    if name == "lqf" || name == "ocf" {
-        return simulate_weighted(args, name);
+    // a dedicated simulation loop with identical semantics. `mwm` is both
+    // a weighted kind and a boolean registry kind — `simulate` prefers the
+    // weighted (queue-length MWM) reading, which is the meaningful
+    // simulation; the unit-weight reference stays reachable via `sweep`.
+    if let Some(kind) = WeightedKind::from_name(name) {
+        return simulate_weighted(args, kind);
     }
     let model =
         ModelKind::from_name(name).ok_or_else(|| format!("unknown scheduler/model `{name}`"))?;
@@ -242,73 +248,16 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     Ok(report_block(&report))
 }
 
-fn simulate_weighted(args: &Args, name: &str) -> Result<String, String> {
-    use lcf_core::weighted::GreedyWeight;
-    use lcf_sim::model::{drive, DriveOptions};
-    use lcf_sim::switch::{IqSwitch, WeightSource};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    // Parse shared parameters via a placeholder model.
+fn simulate_weighted(args: &Args, kind: WeightedKind) -> Result<String, String> {
+    // Parse shared parameters via a placeholder model; the runner ignores
+    // `cfg.model` on the weighted path and takes the scheduler from `kind`.
     let cfg = sim_config(args, ModelKind::Scheduler(SchedulerKind::LcfCentral))?;
-    let n = cfg.n;
-    let source = if name == "lqf" {
-        WeightSource::QueueLength
-    } else {
-        WeightSource::HolAge
-    };
-    let static_name: &'static str = if name == "lqf" { "lqf" } else { "ocf" };
-    let mut sw = IqSwitch::new_weighted(
-        n,
-        Box::new(GreedyWeight::new(n, static_name)),
-        source,
-        cfg.voq_cap,
-        cfg.pq_cap,
-    );
-    let mut traffic: Box<dyn lcf_sim::traffic::Traffic> = match &cfg.traffic {
-        TrafficKind::Bursty { mean_burst } => Box::new(lcf_sim::traffic::OnOffBursty::new(
-            n,
-            cfg.load,
-            *mean_burst,
-            cfg.pattern.clone(),
-        )),
-        TrafficKind::FastBursty { mean_burst } => Box::new(lcf_sim::traffic::FastBursty::new(
-            n,
-            cfg.load,
-            *mean_burst,
-            cfg.pattern.clone(),
-        )),
-        TrafficKind::Bernoulli => Box::new(lcf_sim::traffic::Bernoulli::new(
-            n,
-            cfg.load,
-            cfg.pattern.clone(),
-        )),
-        TrafficKind::FastBernoulli => Box::new(lcf_sim::traffic::FastBernoulli::new(
-            n,
-            cfg.load,
-            cfg.pattern.clone(),
-        )),
-    };
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket);
-    let stats = drive(&mut sw, traffic.as_mut(), &mut rng, &opts);
-    let report = SimReport {
-        model: name.to_string(),
-        load: cfg.load,
-        n,
-        slots: cfg.measure_slots,
-        generated: stats.generated,
-        delivered: stats.delivered,
-        dropped: stats.dropped(),
-        mean_latency_slots: stats.mean_latency(),
-        latency_std_dev: stats.latency_std_dev(),
-        p50_latency: stats.latency_quantile(0.5),
-        p99_latency: stats.latency_quantile(0.99),
-        throughput: stats.delivered as f64 / (cfg.measure_slots as f64 * n as f64),
-        jain_index: stats.service().jain_index(),
-        seed: cfg.seed,
-        backend: "scalar (no word-parallel kernel)".to_string(),
-    };
+    if wants_telemetry(args) {
+        return Err("weighted schedulers record no decision traces; \
+             drop --trace/--metrics"
+            .into());
+    }
+    let report = lcf_sim::runner::run_sim_weighted(&cfg, kind);
     Ok(report_block(&report))
 }
 
@@ -917,7 +866,7 @@ mod tests {
 
     #[test]
     fn simulate_weighted_schedulers() {
-        for name in ["lqf", "ocf"] {
+        for name in ["lqf", "ocf", "mwm", "nwgreedy"] {
             let args = parse(&[
                 "--scheduler",
                 name,
@@ -934,6 +883,20 @@ mod tests {
             assert!(out.contains(&format!("model          {name}")), "{out}");
             assert!(out.contains("throughput"));
         }
+    }
+
+    #[test]
+    fn simulate_weighted_rejects_telemetry_flags() {
+        let args = parse(&[
+            "--scheduler",
+            "mwm",
+            "--slots",
+            "100",
+            "--trace",
+            "/tmp/never_written.jsonl",
+        ]);
+        let err = simulate(&args).unwrap_err();
+        assert!(err.contains("no decision traces"), "{err}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::lcf::RrPolicy;
 use crate::matching::Matching;
 use crate::request::RequestMatrix;
 use crate::traits::Scheduler;
+use crate::weighted::{matching_weight, WeightGuarantee, WeightMatrix, WeightedScheduler};
 
 /// A violated schedule invariant, with the witnessing ports.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,6 +74,24 @@ pub enum Violation {
         /// Name of the diverging scheduler.
         scheduler: &'static str,
     },
+    /// A weighted matching connected a pair whose weight is zero — the
+    /// weighted analogue of [`Violation::Ungranted`].
+    ZeroWeightGrant {
+        /// Input of the zero-weight connection.
+        input: usize,
+        /// Output of the zero-weight connection.
+        output: usize,
+    },
+    /// A weighted scheduler's matching fell short of the weight bound its
+    /// [`WeightGuarantee`] promises relative to the Hungarian optimum.
+    WeightBound {
+        /// Total weight the scheduler achieved.
+        achieved: u128,
+        /// Exact maximum-weight matching value for the same matrix.
+        optimal: u128,
+        /// The promise that was broken.
+        guarantee: WeightGuarantee,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -106,6 +125,18 @@ impl std::fmt::Display for Violation {
             Violation::BackendDivergence { scheduler } => {
                 write!(f, "{scheduler}: scalar and bitset kernels diverged")
             }
+            Violation::ZeroWeightGrant { input, output } => write!(
+                f,
+                "matching connects ({input}, {output}) whose weight is zero"
+            ),
+            Violation::WeightBound {
+                achieved,
+                optimal,
+                guarantee,
+            } => write!(
+                f,
+                "weight bound broken: achieved {achieved} vs optimal {optimal} under {guarantee:?}"
+            ),
         }
     }
 }
@@ -154,6 +185,121 @@ pub fn check_maximal(requests: &RequestMatrix, matching: &Matching) -> Result<()
         }
     }
     Ok(())
+}
+
+/// Checks the weighted analogue of [`check_matching`] + [`check_maximal`]:
+/// permutation validity, grant ⊆ positive-weight request, and maximality
+/// over the positive-weight pattern. Maximality is unconditional here
+/// because every weighted scheduler in the repo (edge-greedy, node-weighted
+/// greedy, Hungarian) produces maximal matchings — with non-negative
+/// weights, a non-maximal matching is always improvable by the uncovered
+/// positive edge.
+///
+/// Allocation-free, so the simulator's slot loop can run it per slot.
+pub fn check_weighted_matching(
+    weights: &WeightMatrix,
+    matching: &Matching,
+) -> Result<(), Violation> {
+    let n = weights.n();
+    if matching.n() != n {
+        return Err(Violation::SizeMismatch {
+            matching_n: matching.n(),
+            requests_n: n,
+        });
+    }
+    if !matching.is_conflict_free() {
+        return Err(Violation::Conflict);
+    }
+    for (i, j) in matching.pairs() {
+        if weights.get(i, j) == 0 {
+            return Err(Violation::ZeroWeightGrant {
+                input: i,
+                output: j,
+            });
+        }
+    }
+    for i in 0..n {
+        if matching.input_matched(i) {
+            continue;
+        }
+        for j in 0..n {
+            if weights.get(i, j) > 0 && !matching.output_matched(j) {
+                return Err(Violation::NotMaximal {
+                    input: i,
+                    output: j,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A [`WeightedScheduler`] wrapper that validates every matching with
+/// [`check_weighted_matching`] and holds the scheduler to its
+/// [`WeightGuarantee`] against a Hungarian oracle
+/// ([`MaxWeightMatcher`](crate::mwm::MaxWeightMatcher)): `Exact` matchings
+/// must equal the optimum's weight, `HalfOfOptimal` must reach at least
+/// half of it, and `Heuristic` skips the oracle (validity checks only).
+///
+/// Violations are programming errors, so `schedule_weighted` panics with
+/// the [`Violation`] in the message — the same contract as
+/// [`CheckedScheduler`]. Built by
+/// [`WeightedKind::build_checked`](crate::registry::WeightedKind::build_checked);
+/// the simulator's weighted path uses that constructor in debug builds.
+pub struct CheckedWeightedScheduler {
+    inner: Box<dyn WeightedScheduler + Send>,
+    guarantee: WeightGuarantee,
+    // Constructor-sized oracle: its scratch is reused across slots, so the
+    // per-slot check honors the hot-path memory contract.
+    oracle: crate::mwm::MaxWeightMatcher,
+}
+
+impl CheckedWeightedScheduler {
+    /// Wraps `inner`, enforcing `guarantee` on every matching.
+    pub fn new(inner: Box<dyn WeightedScheduler + Send>, guarantee: WeightGuarantee) -> Self {
+        let oracle = crate::mwm::MaxWeightMatcher::new(inner.num_ports());
+        CheckedWeightedScheduler {
+            inner,
+            guarantee,
+            oracle,
+        }
+    }
+}
+
+impl WeightedScheduler for CheckedWeightedScheduler {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn num_ports(&self) -> usize {
+        self.inner.num_ports()
+    }
+
+    fn schedule_weighted_into(&mut self, weights: &WeightMatrix, out: &mut Matching) {
+        self.inner.schedule_weighted_into(weights, out);
+        if let Err(v) = check_weighted_matching(weights, out) {
+            // lint:allow(no-panic): the checker's purpose is to abort on a broken scheduler invariant
+            panic!("{}: weighted invariant violated: {v}", self.inner.name());
+        }
+        let bound_holds = |achieved: u128, optimal: u128| match self.guarantee {
+            WeightGuarantee::Exact => achieved == optimal,
+            WeightGuarantee::HalfOfOptimal => 2 * achieved >= optimal,
+            WeightGuarantee::Heuristic => true,
+        };
+        if self.guarantee != WeightGuarantee::Heuristic {
+            let achieved = matching_weight(weights, out);
+            let optimal = self.oracle.max_matching_weight(weights);
+            if !bound_holds(achieved, optimal) {
+                let v = Violation::WeightBound {
+                    achieved,
+                    optimal,
+                    guarantee: self.guarantee,
+                };
+                // lint:allow(no-panic): a broken approximation bound is a correctness bug, not a recoverable state
+                panic!("{}: {v}", self.inner.name());
+            }
+        }
+    }
 }
 
 /// Checks the round-robin precedence rules of
@@ -554,5 +700,118 @@ mod tests {
         assert!(v.to_string().contains("(1, 2)"));
         let v = Violation::BackendDivergence { scheduler: "pim" };
         assert!(v.to_string().contains("pim"));
+        let v = Violation::ZeroWeightGrant {
+            input: 0,
+            output: 3,
+        };
+        assert!(v.to_string().contains("(0, 3)"));
+        let v = Violation::WeightBound {
+            achieved: 10,
+            optimal: 18,
+            guarantee: WeightGuarantee::Exact,
+        };
+        assert!(v.to_string().contains("10"));
+        assert!(v.to_string().contains("18"));
+    }
+
+    fn weights() -> WeightMatrix {
+        WeightMatrix::from_triples(4, [(0, 0, 5), (1, 0, 2), (1, 1, 9), (2, 3, 1)])
+    }
+
+    #[test]
+    fn weighted_valid_matching_passes() {
+        let m = Matching::from_pairs(4, [(0, 0), (1, 1), (2, 3)]);
+        assert_eq!(check_weighted_matching(&weights(), &m), Ok(()));
+    }
+
+    #[test]
+    fn weighted_zero_weight_grant_is_caught() {
+        let m = Matching::from_pairs(4, [(3, 2)]);
+        assert_eq!(
+            check_weighted_matching(&weights(), &m),
+            Err(Violation::ZeroWeightGrant {
+                input: 3,
+                output: 2
+            })
+        );
+    }
+
+    #[test]
+    fn weighted_non_maximal_is_caught() {
+        // Input 2 could still reach free output 3 with positive weight.
+        let m = Matching::from_pairs(4, [(0, 0), (1, 1)]);
+        assert_eq!(
+            check_weighted_matching(&weights(), &m),
+            Err(Violation::NotMaximal {
+                input: 2,
+                output: 3
+            })
+        );
+    }
+
+    #[test]
+    fn weighted_size_mismatch_is_caught() {
+        let m = Matching::new(3);
+        assert!(matches!(
+            check_weighted_matching(&weights(), &m),
+            Err(Violation::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_weighted_scheduler_passes_honest_schedulers() {
+        use crate::registry::WeightedKind;
+        for kind in WeightedKind::ALL {
+            let mut s = CheckedWeightedScheduler::new(kind.build(4), kind.guarantee());
+            assert_eq!(s.num_ports(), 4);
+            for _ in 0..10 {
+                let m = s.schedule_weighted(&weights());
+                assert!(m.is_valid_for(&weights().to_requests()), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight bound broken")]
+    fn checked_weighted_scheduler_catches_false_exactness_claim() {
+        // Greedy takes the 10 edge and strands 9 + 9 = 18; claiming Exact
+        // for it must abort on the trap matrix.
+        use crate::weighted::GreedyWeight;
+        let w = WeightMatrix::from_triples(2, [(0, 0, 10), (1, 0, 9), (0, 1, 9)]);
+        let mut s = CheckedWeightedScheduler::new(
+            Box::new(GreedyWeight::new(2, "lqf")),
+            WeightGuarantee::Exact,
+        );
+        let _ = s.schedule_weighted(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted invariant violated")]
+    fn checked_weighted_scheduler_catches_zero_weight_grants() {
+        /// A broken scheduler that grants the full diagonal regardless of
+        /// the weights.
+        struct DiagonalAlways {
+            n: usize,
+        }
+        impl WeightedScheduler for DiagonalAlways {
+            fn name(&self) -> &'static str {
+                "diag_always"
+            }
+            fn num_ports(&self) -> usize {
+                self.n
+            }
+            fn schedule_weighted_into(&mut self, _w: &WeightMatrix, out: &mut Matching) {
+                out.reset(self.n);
+                for i in 0..self.n {
+                    out.connect(i, i);
+                }
+            }
+        }
+        let mut s = CheckedWeightedScheduler::new(
+            Box::new(DiagonalAlways { n: 4 }),
+            WeightGuarantee::Heuristic,
+        );
+        // (3, 3) has weight zero here, so the grant must be rejected.
+        let _ = s.schedule_weighted(&weights());
     }
 }

@@ -18,7 +18,10 @@
 //! | [`Islip`](islip::Islip) | `islip` | rotating-pointer iterative matching (McKeown) |
 //! | [`Wavefront`](wavefront::Wavefront) | `wfront` | wrapped wavefront arbiter (Tamir & Chi) |
 //! | [`FifoRr`](fifo_rr::FifoRr) | `fifo` | single FIFO per input, round-robin conflict resolution |
-//! | [`MaxSizeMatcher`](maxsize::MaxSizeMatcher) | — | Hopcroft–Karp maximum-size matching (reference upper bound) |
+//! | [`MaxSizeMatcher`](maxsize::MaxSizeMatcher) | `maxsize` | Hopcroft–Karp maximum-size matching (reference upper bound) |
+//! | [`MaxWeightMatcher`](mwm::MaxWeightMatcher) | `mwm` | Hungarian exact maximum-weight matching (reference optimum) |
+//! | [`NodeWeightedGreedy`](mwm::NodeWeightedGreedy) | `nwgreedy` | node-weighted greedy MWM approximation (Gupta/Sanghavi/Shroff) |
+//! | [`GreedyWeight`](weighted::GreedyWeight) | `lqf` / `ocf` | edge-greedy weighted matching (½-approximation of MWM) |
 //!
 //! ## Quick example
 //!
@@ -53,6 +56,7 @@ pub mod lcf;
 pub mod matching;
 pub mod maxsize;
 pub mod multicast;
+pub mod mwm;
 pub mod pim;
 pub mod registry;
 pub mod request;
@@ -74,10 +78,11 @@ pub mod prelude {
     pub use crate::matching::Matching;
     pub use crate::maxsize::MaxSizeMatcher;
     pub use crate::multicast::{FanoutSplit, McastGrant, McastPolicy};
+    pub use crate::mwm::{MaxWeightMatcher, NodeWeightedGreedy};
     pub use crate::pim::Pim;
-    pub use crate::registry::{BackendChoice, SchedulerKind};
+    pub use crate::registry::{BackendChoice, SchedulerKind, WeightedKind};
     pub use crate::request::RequestMatrix;
     pub use crate::traits::Scheduler;
     pub use crate::wavefront::Wavefront;
-    pub use crate::weighted::{GreedyWeight, WeightMatrix, WeightedScheduler};
+    pub use crate::weighted::{GreedyWeight, WeightGuarantee, WeightMatrix, WeightedScheduler};
 }

@@ -5,13 +5,16 @@ use crate::fifo_rr::FifoRr;
 use crate::islip::Islip;
 use crate::lcf::{CentralLcf, DistributedLcf};
 use crate::maxsize::MaxSizeMatcher;
+use crate::mwm::{MaxWeightMatcher, NodeWeightedGreedy};
 use crate::pim::Pim;
 use crate::traits::Scheduler;
 use crate::wavefront::Wavefront;
+use crate::weighted::{GreedyWeight, WeightGuarantee, WeightedScheduler};
 
-/// The schedulers evaluated in the paper's Fig. 12, plus the maximum-size
-/// reference. (`outbuf` is a switch architecture, not a scheduler, and lives
-/// in `lcf-sim`.)
+/// The schedulers evaluated in the paper's Fig. 12, plus the reference
+/// matchers (maximum-size, and maximum-weight under unit weights).
+/// (`outbuf` is a switch architecture, not a scheduler, and lives in
+/// `lcf-sim`.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum SchedulerKind {
@@ -24,6 +27,7 @@ pub enum SchedulerKind {
     Islip,
     Wavefront,
     MaxSize,
+    MaxWeight,
     /// Test-only probe that panics on every `schedule` call. Excluded from
     /// [`SchedulerKind::ALL`]; exists so fault-isolation paths (`try_sweep`
     /// panic containment) can be exercised through the public registry.
@@ -106,8 +110,8 @@ impl Scheduler for FaultProbe {
 
 impl SchedulerKind {
     /// All kinds, in the order the paper's Fig. 12 legend lists them
-    /// (best-documented first), with the reference matcher last.
-    pub const ALL: [SchedulerKind; 9] = [
+    /// (best-documented first), with the reference matchers last.
+    pub const ALL: [SchedulerKind; 10] = [
         SchedulerKind::LcfCentral,
         SchedulerKind::LcfCentralRr,
         SchedulerKind::LcfDistRr,
@@ -117,6 +121,7 @@ impl SchedulerKind {
         SchedulerKind::Wavefront,
         SchedulerKind::Fifo,
         SchedulerKind::MaxSize,
+        SchedulerKind::MaxWeight,
     ];
 
     /// The seven VOQ-based practical schedulers of Fig. 12 (excludes `fifo`,
@@ -143,6 +148,7 @@ impl SchedulerKind {
             SchedulerKind::Islip => "islip",
             SchedulerKind::Wavefront => "wfront",
             SchedulerKind::MaxSize => "maxsize",
+            SchedulerKind::MaxWeight => "mwm",
             SchedulerKind::FaultProbe => "panic_probe",
         }
     }
@@ -201,6 +207,7 @@ impl SchedulerKind {
                 | SchedulerKind::LcfCentralRr
                 | SchedulerKind::Wavefront
                 | SchedulerKind::MaxSize
+                | SchedulerKind::MaxWeight
         )
     }
 
@@ -257,6 +264,7 @@ impl SchedulerKind {
             SchedulerKind::Islip => Box::new(Islip::new(n, iterations).with_backend(backend)),
             SchedulerKind::Wavefront => Box::new(Wavefront::new(n).with_backend(backend)),
             SchedulerKind::MaxSize => Box::new(MaxSizeMatcher::new(n)),
+            SchedulerKind::MaxWeight => Box::new(MaxWeightMatcher::new(n)),
             SchedulerKind::FaultProbe => Box::new(FaultProbe { n }),
         };
         (sched, self.resolve_backend(n, backend))
@@ -291,6 +299,100 @@ impl SchedulerKind {
 }
 
 impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The weighted-scheduler registry: name-based construction for the
+/// schedulers that consume a [`WeightMatrix`](crate::weighted::WeightMatrix)
+/// instead of a boolean request pattern. These sit outside the Fig. 12
+/// lineup (the paper's schedulers are all pattern-only) but complete the
+/// taxonomy: the practical weighted heuristics (`lqf`, `ocf`, `nwgreedy`)
+/// and the exact reference (`mwm`) the heuristics are measured against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightedKind {
+    /// Longest queue first: edge-greedy over queue-length weights.
+    Lqf,
+    /// Oldest cell first: edge-greedy over head-of-line cell ages.
+    Ocf,
+    /// Exact maximum-weight matching over queue lengths (Hungarian).
+    Mwm,
+    /// Node-weighted greedy (Gupta/Sanghavi/Shroff) over queue lengths.
+    NwGreedy,
+}
+
+impl WeightedKind {
+    /// All weighted kinds, heuristics first, reference last.
+    pub const ALL: [WeightedKind; 4] = [
+        WeightedKind::Lqf,
+        WeightedKind::Ocf,
+        WeightedKind::NwGreedy,
+        WeightedKind::Mwm,
+    ];
+
+    /// The experiment-output name of this scheduler.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightedKind::Lqf => "lqf",
+            WeightedKind::Ocf => "ocf",
+            WeightedKind::Mwm => "mwm",
+            WeightedKind::NwGreedy => "nwgreedy",
+        }
+    }
+
+    /// Parses a name back into a kind.
+    pub fn from_name(name: &str) -> Option<WeightedKind> {
+        WeightedKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// True if the scheduler's weights are head-of-line cell ages rather
+    /// than queue lengths (the simulator picks its `WeightSource` from
+    /// this).
+    pub fn age_weighted(self) -> bool {
+        self == WeightedKind::Ocf
+    }
+
+    /// The weight bound this scheduler promises relative to the exact
+    /// maximum-weight matching (enforced slot by slot by
+    /// [`build_checked`](WeightedKind::build_checked)).
+    pub fn guarantee(self) -> WeightGuarantee {
+        match self {
+            WeightedKind::Mwm => WeightGuarantee::Exact,
+            WeightedKind::Lqf | WeightedKind::Ocf => WeightGuarantee::HalfOfOptimal,
+            WeightedKind::NwGreedy => WeightGuarantee::Heuristic,
+        }
+    }
+
+    /// Builds a weighted scheduler instance. None of the weighted
+    /// schedulers has a word-parallel kernel, so there is no backend
+    /// parameter; the registry's [`BackendChoice`] story for them is
+    /// uniformly [`BackendChoice::NoKernel`].
+    pub fn build(self, n: usize) -> Box<dyn WeightedScheduler + Send> {
+        match self {
+            WeightedKind::Lqf => Box::new(GreedyWeight::new(n, "lqf")),
+            WeightedKind::Ocf => Box::new(GreedyWeight::new(n, "ocf")),
+            WeightedKind::Mwm => Box::new(MaxWeightMatcher::new(n)),
+            WeightedKind::NwGreedy => Box::new(NodeWeightedGreedy::new(n)),
+        }
+    }
+
+    /// Like [`WeightedKind::build`], but wraps the scheduler in a
+    /// [`CheckedWeightedScheduler`](crate::check::CheckedWeightedScheduler)
+    /// that validates every matching (permutation validity, grant ⊆
+    /// positive-weight request, maximality) and holds the scheduler to its
+    /// [`WeightedKind::guarantee`] against a Hungarian oracle. The
+    /// simulator's weighted path uses this in debug builds.
+    #[cfg(feature = "check-invariants")]
+    pub fn build_checked(self, n: usize) -> Box<dyn WeightedScheduler + Send> {
+        Box::new(crate::check::CheckedWeightedScheduler::new(
+            self.build(n),
+            self.guarantee(),
+        ))
+    }
+}
+
+impl std::fmt::Display for WeightedKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -420,6 +522,83 @@ mod tests {
             let requests = RequestMatrix::from_pairs(8, [(3, 5)]);
             let m = s.schedule(&requests);
             assert_eq!(m.output_for(3), Some(5), "{kind}");
+        }
+    }
+
+    #[test]
+    fn weighted_names_roundtrip() {
+        for kind in WeightedKind::ALL {
+            assert_eq!(WeightedKind::from_name(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(WeightedKind::from_name("lcf_central"), None);
+    }
+
+    #[test]
+    fn weighted_build_produces_matching_scheduler() {
+        use crate::weighted::WeightMatrix;
+        for kind in WeightedKind::ALL {
+            let mut s = kind.build(8);
+            assert_eq!(s.num_ports(), 8);
+            assert_eq!(s.name(), kind.name());
+            let w = WeightMatrix::from_triples(8, [(3, 5, 7)]);
+            let m = s.schedule_weighted(&w);
+            assert_eq!(
+                m.output_for(3),
+                Some(5),
+                "{kind} must grant the only request"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_guarantees_and_flags() {
+        use crate::weighted::WeightGuarantee;
+        assert_eq!(WeightedKind::Mwm.guarantee(), WeightGuarantee::Exact);
+        assert_eq!(
+            WeightedKind::Lqf.guarantee(),
+            WeightGuarantee::HalfOfOptimal
+        );
+        assert_eq!(
+            WeightedKind::Ocf.guarantee(),
+            WeightGuarantee::HalfOfOptimal
+        );
+        assert_eq!(
+            WeightedKind::NwGreedy.guarantee(),
+            WeightGuarantee::Heuristic
+        );
+        assert!(WeightedKind::Ocf.age_weighted());
+        assert!(!WeightedKind::Lqf.age_weighted());
+        assert!(!WeightedKind::Mwm.age_weighted());
+    }
+
+    #[test]
+    fn mwm_kind_is_registered_like_the_other_reference() {
+        assert!(SchedulerKind::ALL.contains(&SchedulerKind::MaxWeight));
+        assert_eq!(
+            SchedulerKind::from_name("mwm"),
+            Some(SchedulerKind::MaxWeight)
+        );
+        assert!(SchedulerKind::MaxWeight.guarantees_maximal());
+        assert!(!SchedulerKind::MaxWeight.has_kernel());
+        assert!(!SchedulerKind::MaxWeight.is_iterative());
+        assert_eq!(
+            SchedulerKind::MaxWeight.resolve_backend(8, Backend::Bitset),
+            BackendChoice::NoKernel
+        );
+    }
+
+    #[cfg(feature = "check-invariants")]
+    #[test]
+    fn weighted_build_checked_validates() {
+        use crate::weighted::WeightMatrix;
+        for kind in WeightedKind::ALL {
+            let mut s = kind.build_checked(8);
+            assert_eq!(s.name(), kind.name());
+            let w = WeightMatrix::from_triples(8, [(3, 5, 7), (2, 5, 3), (2, 1, 1)]);
+            let m = s.schedule_weighted(&w);
+            assert_eq!(m.output_for(3), Some(5), "{kind}");
+            assert_eq!(m.output_for(2), Some(1), "{kind}");
         }
     }
 }

@@ -96,6 +96,34 @@ pub trait WeightedScheduler {
     }
 }
 
+/// Total weight of a matching under `weights`. `u128` so adversarial `u64`
+/// weights cannot overflow the sum. Allocation-free — safe to call from
+/// slot-loop invariant checks.
+pub fn matching_weight(weights: &WeightMatrix, matching: &Matching) -> u128 {
+    matching
+        .pairs()
+        .map(|(i, j)| u128::from(weights.get(i, j)))
+        .sum()
+}
+
+/// What a weighted scheduler promises about the total weight of its
+/// matchings, relative to the exact maximum-weight matching of the same
+/// matrix. The checked wrapper
+/// ([`CheckedWeightedScheduler`](crate::check::CheckedWeightedScheduler))
+/// enforces the promise slot by slot against the Hungarian oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightGuarantee {
+    /// The matching's weight equals the optimum (the reference matcher).
+    Exact,
+    /// At least half the optimum (edge-greedy: heaviest-edge-first is a
+    /// classic ½-approximation — Avis 1983).
+    HalfOfOptimal,
+    /// No raw-weight bound; the scheduler's guarantee lives in a derived
+    /// metric instead (e.g. [`NodeWeightedGreedy`](crate::mwm::NodeWeightedGreedy)
+    /// bounds the node-induced score, not the raw weight).
+    Heuristic,
+}
+
 /// Central greedy maximum-weight matching: repeatedly grant the heaviest
 /// remaining `(input, output)` pair. With queue lengths as weights this is
 /// **LQF** (longest queue first); with head-of-line ages it is **OCF**

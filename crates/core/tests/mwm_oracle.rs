@@ -1,0 +1,497 @@
+//! Oracle checks for the maximum-weight reference tier.
+//!
+//! The Hungarian matcher ([`MaxWeightMatcher`]) is the yardstick every other
+//! scheduler is measured against, so *it* needs an independent ground truth.
+//! This suite provides two: recursive permutation enumeration (`n ≤ 3`,
+//! where **all** `2^(n²)` request patterns are covered under several weight
+//! assignments) and an `O(n·2ⁿ)` bitmask dynamic program (`n = 4..8`,
+//! randomized dense sweeps). On top of the exact oracle the suite proves the
+//! ordering the registry promises: no scheduler — boolean or weighted —
+//! ever beats the Hungarian weight, `GreedyWeight` stays within Avis's ½
+//! bound, `NodeWeightedGreedy` satisfies the Gupta–Sanghavi–Shroff chain,
+//! and `MaxSizeMatcher` cardinality equals MWM size under unit weights.
+//!
+//! All scratch [`Matching`] buffers are deliberately reused dirty across
+//! calls, mirroring the slot loop's memory discipline.
+
+use lcf_core::bitkern::Backend;
+use lcf_core::lcf::{CentralLcf, RrPolicy};
+use lcf_core::mwm::node_induced_weights;
+use lcf_core::prelude::*;
+use lcf_core::weighted::matching_weight;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BACKENDS: [Backend; 2] = [Backend::Scalar, Backend::Bitset];
+
+const POLICIES: [RrPolicy; 6] = [
+    RrPolicy::None,
+    RrPolicy::SinglePosition,
+    RrPolicy::Row,
+    RrPolicy::Column,
+    RrPolicy::Diagonal,
+    RrPolicy::PriorityDiagonal,
+];
+
+/// Decodes matrix number `bits` (bit `i * n + j` ⇒ request `(i, j)`),
+/// matching the encoding of `exhaustive_model.rs`.
+fn matrix_from_bits(n: usize, bits: u32) -> RequestMatrix {
+    RequestMatrix::from_fn(n, |i, j| bits >> (i * n + j) & 1 == 1)
+}
+
+/// Weight assignments layered over a request pattern. Non-requested pairs
+/// always weigh zero; requested pairs get a deterministic positive weight.
+fn weight_assignments(requests: &RequestMatrix) -> Vec<WeightMatrix> {
+    let n = requests.n();
+    let builders: [&dyn Fn(usize, usize) -> u64; 4] = [
+        // Unit weights: MWM degenerates to maximum-size matching.
+        &|_, _| 1,
+        // Distinct small weights: breaks every tie, exposes ordering bugs.
+        &|i, j| (i * n + j + 1) as u64,
+        // Reverse ramp: the greedy-optimal order flips.
+        &|i, j| (n * n - (i * n + j)) as u64,
+        // Huge weights: exercises the i128 potentials / u128 sums.
+        &|i, j| u64::MAX - (i * n + j) as u64,
+    ];
+    builders
+        .iter()
+        .map(|f| {
+            let mut w = WeightMatrix::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if requests.get(i, j) {
+                        w.set(i, j, f(i, j));
+                    }
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+/// Ground truth #1: recursive enumeration of every input→output assignment.
+/// Exponential, so only for tiny `n`. Weights are zero off the request
+/// pattern, hence maximizing over full permutations equals maximizing over
+/// matchings.
+fn brute_force_recursive(w: &WeightMatrix, row: usize, used: &mut [bool]) -> u128 {
+    let n = w.n();
+    if row == n {
+        return 0;
+    }
+    // Leaving `row` unmatched is always an option.
+    let mut best = brute_force_recursive(w, row + 1, used);
+    for col in 0..n {
+        if !used[col] && w.get(row, col) > 0 {
+            used[col] = true;
+            let rest = brute_force_recursive(w, row + 1, used);
+            used[col] = false;
+            best = best.max(rest + u128::from(w.get(row, col)));
+        }
+    }
+    best
+}
+
+/// Ground truth #2: `O(n·2ⁿ)` assignment DP over column bitmasks.
+/// `dp[mask]` is the best weight assigning rows `0..popcount(mask)` into the
+/// column set `mask`. Every row is assigned, but since off-pattern pairs
+/// weigh zero and there are always `n` columns for `n` rows, a zero-weight
+/// column acts as a skip — so partial matchings are covered.
+fn brute_force_bitmask_dp(w: &WeightMatrix) -> u128 {
+    let n = w.n();
+    assert!(n <= 16, "DP oracle is exponential in n");
+    let full = 1usize << n;
+    let mut dp = vec![0u128; full];
+    for mask in 0..full {
+        let row = mask.count_ones() as usize;
+        if row >= n {
+            continue;
+        }
+        for col in 0..n {
+            if mask >> col & 1 == 0 {
+                let gain = u128::from(w.get(row, col));
+                let next = mask | 1 << col;
+                dp[next] = dp[next].max(dp[mask] + gain);
+            }
+        }
+    }
+    // Weights are non-negative, so the optimum is reached at some full
+    // assignment; folding over every mask is equivalent and simpler.
+    dp.into_iter().max().unwrap_or(0)
+}
+
+/// The bitmask DP must agree with the recursive oracle wherever both run —
+/// otherwise the larger-`n` sweeps would test MWM against a broken ruler.
+#[test]
+fn oracles_agree_with_each_other() {
+    for n in 1..=3usize {
+        let cells = (n * n) as u32;
+        for bits in 0..1u32 << cells {
+            let requests = matrix_from_bits(n, bits);
+            for w in weight_assignments(&requests) {
+                let mut used = vec![false; n];
+                let recursive = brute_force_recursive(&w, 0, &mut used);
+                assert_eq!(
+                    recursive,
+                    brute_force_bitmask_dp(&w),
+                    "oracles disagree on n={n} matrix {bits:#b}"
+                );
+            }
+        }
+    }
+}
+
+/// Tentpole acceptance: the Hungarian matcher is *exactly* optimal on every
+/// request pattern at `n ≤ 3` under several weight assignments, and its
+/// emitted matching achieves the optimal weight it reports.
+#[test]
+fn mwm_is_optimal_for_all_small_patterns() {
+    for n in 1..=3usize {
+        let cells = (n * n) as u32;
+        let mut mwm = MaxWeightMatcher::new(n);
+        let mut out = Matching::new(n); // reused dirty on purpose
+        for bits in 0..1u32 << cells {
+            let requests = matrix_from_bits(n, bits);
+            for w in weight_assignments(&requests) {
+                let mut used = vec![false; n];
+                let truth = brute_force_recursive(&w, 0, &mut used);
+                let reported = mwm.max_matching_weight(&w);
+                assert_eq!(
+                    reported, truth,
+                    "n={n} matrix {bits:#b}: Hungarian reported {reported}, brute force {truth}"
+                );
+                mwm.schedule_weighted_into(&w, &mut out);
+                assert!(out.is_conflict_free());
+                assert!(out.is_valid_for(&requests), "n={n} matrix {bits:#b}");
+                assert_eq!(
+                    matching_weight(&w, &out),
+                    truth,
+                    "n={n} matrix {bits:#b}: emitted matching misses the optimum"
+                );
+            }
+        }
+    }
+}
+
+/// Randomized dense sweeps for `n = 4..8` against the bitmask DP: one
+/// stateful matcher per `n`, driven through seeded weight sequences.
+#[test]
+fn mwm_matches_bitmask_dp_for_larger_n() {
+    const ROUNDS: usize = 30;
+    let mut rng = StdRng::seed_from_u64(0x0CF9_2002);
+    for n in 4..=8usize {
+        let mut mwm = MaxWeightMatcher::new(n);
+        let mut out = Matching::new(n);
+        for density in [0.35, 0.75, 1.0] {
+            for round in 0..ROUNDS {
+                let requests = RequestMatrix::random(n, density, &mut rng);
+                let mut w = WeightMatrix::new(n);
+                for i in 0..n {
+                    for j in 0..n {
+                        if requests.get(i, j) {
+                            w.set(i, j, rng.gen_range(1..1u64 << 40));
+                        }
+                    }
+                }
+                let truth = brute_force_bitmask_dp(&w);
+                assert_eq!(
+                    mwm.max_matching_weight(&w),
+                    truth,
+                    "n={n} density={density} round={round}"
+                );
+                mwm.schedule_weighted_into(&w, &mut out);
+                assert_eq!(
+                    matching_weight(&w, &out),
+                    truth,
+                    "n={n} density={density} round={round}: emitted weight off"
+                );
+            }
+        }
+    }
+}
+
+/// Seeded weighted instances shared by the ordering proofs below: a request
+/// pattern plus positive weights on requested pairs.
+fn random_instances(n: usize, rounds: usize, seed: u64) -> Vec<(RequestMatrix, WeightMatrix)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let requests = RequestMatrix::random(n, 0.6, &mut rng);
+        let mut w = WeightMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if requests.get(i, j) {
+                    w.set(i, j, rng.gen_range(1..10_000u64));
+                }
+            }
+        }
+        out.push((requests, w));
+    }
+    out
+}
+
+/// No registry scheduler ever beats the Hungarian weight: every
+/// `SchedulerKind` × both backends, stateful across a seeded sequence, with
+/// the matching weighed under the same matrix the oracle solves.
+#[test]
+fn no_registry_scheduler_beats_mwm() {
+    const ROUNDS: usize = 25;
+    for n in [4usize, 8] {
+        let instances = random_instances(n, ROUNDS, 0x5EED_0009 + n as u64);
+        let mut mwm = MaxWeightMatcher::new(n);
+        for kind in SchedulerKind::ALL {
+            for backend in BACKENDS {
+                let (mut sched, _) = kind.build_with_backend(n, 4, 0xBEE, backend);
+                let mut out = Matching::new(n);
+                for (round, (requests, w)) in instances.iter().enumerate() {
+                    if kind.wants_fifo_queues() && (0..n).any(|i| requests.nrq(i) > 1) {
+                        continue;
+                    }
+                    sched.schedule_into(requests, &mut out);
+                    let achieved = matching_weight(w, &out);
+                    let optimal = mwm.max_matching_weight(w);
+                    assert!(
+                        achieved <= optimal,
+                        "{kind} {backend:?} n={n} round={round}: \
+                         {achieved} beats the \"optimal\" {optimal}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same ordering for `CentralLcf` under every round-robin policy — pointer
+/// state advances across rounds, so rotation cannot sneak past the oracle.
+#[test]
+fn no_lcf_policy_beats_mwm() {
+    const ROUNDS: usize = 25;
+    let n = 6usize;
+    let instances = random_instances(n, ROUNDS, 0xC0FF_EE06);
+    let mut mwm = MaxWeightMatcher::new(n);
+    for policy in POLICIES {
+        for backend in BACKENDS {
+            let mut sched = CentralLcf::with_policy(n, policy).with_backend(backend);
+            let mut out = Matching::new(n);
+            for (round, (requests, w)) in instances.iter().enumerate() {
+                sched.schedule_into(requests, &mut out);
+                assert!(
+                    matching_weight(w, &out) <= mwm.max_matching_weight(w),
+                    "{policy:?} {backend:?} round={round}"
+                );
+            }
+        }
+    }
+}
+
+/// Weighted-tier ordering: every `WeightedKind` obeys its declared
+/// guarantee against the Hungarian optimum, on dirty reused buffers.
+///
+/// * `mwm` achieves the optimum exactly;
+/// * `lqf` / `ocf` (greedy by weight) stay within Avis's ½ bound;
+/// * `nwgreedy` satisfies the Gupta–Sanghavi–Shroff chain: its matching
+///   weighed under `ŵ = π + ρ` is at least half the `ŵ`-optimum, which in
+///   turn dominates the true optimum.
+#[test]
+fn weighted_schedulers_obey_their_guarantees() {
+    const ROUNDS: usize = 25;
+    for n in [4usize, 8] {
+        let instances = random_instances(n, ROUNDS, 0xA11_0CF + n as u64);
+        let mut mwm = MaxWeightMatcher::new(n);
+        for kind in WeightedKind::ALL {
+            let mut sched = kind.build(n);
+            let mut out = Matching::new(n);
+            for (round, (_, w)) in instances.iter().enumerate() {
+                sched.schedule_weighted_into(w, &mut out);
+                let achieved = matching_weight(w, &out);
+                let optimal = mwm.max_matching_weight(w);
+                assert!(achieved <= optimal, "{kind} n={n} round={round}");
+                match kind.guarantee() {
+                    WeightGuarantee::Exact => assert_eq!(
+                        achieved, optimal,
+                        "{kind} n={n} round={round}: claims exactness"
+                    ),
+                    WeightGuarantee::HalfOfOptimal => assert!(
+                        achieved * 2 >= optimal,
+                        "{kind} n={n} round={round}: {achieved} < half of {optimal}"
+                    ),
+                    WeightGuarantee::Heuristic => {
+                        let induced = node_induced_weights(w);
+                        let under_induced = matching_weight(&induced, &out);
+                        assert!(
+                            under_induced * 2 >= mwm.max_matching_weight(&induced),
+                            "{kind} n={n} round={round}: GSS ½ bound under ŵ broken"
+                        );
+                        assert!(
+                            under_induced >= optimal,
+                            "{kind} n={n} round={round}: ŵ-score below the w-optimum"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Under all-ones weights, maximum weight *is* maximum cardinality: the
+/// Hopcroft–Karp `MaxSizeMatcher` and the Hungarian matcher must agree on
+/// size, pattern by pattern (exhaustive at `n ≤ 3`, randomized at `n = 6`).
+#[test]
+fn maxsize_cardinality_equals_mwm_under_unit_weights() {
+    for n in 1..=3usize {
+        let cells = (n * n) as u32;
+        let mut maxsize = MaxSizeMatcher::new(n);
+        let mut mwm = MaxWeightMatcher::new(n);
+        for bits in 0..1u32 << cells {
+            let requests = matrix_from_bits(n, bits);
+            let mut unit = WeightMatrix::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if requests.get(i, j) {
+                        unit.set(i, j, 1);
+                    }
+                }
+            }
+            assert_eq!(
+                maxsize.max_matching_size(&requests) as u128,
+                mwm.max_matching_weight(&unit),
+                "n={n} matrix {bits:#b}"
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0xCAFE_0121);
+    let n = 6;
+    let mut maxsize = MaxSizeMatcher::new(n);
+    let mut mwm = MaxWeightMatcher::new(n);
+    for round in 0..60 {
+        let requests = RequestMatrix::random(n, 0.4, &mut rng);
+        let mut unit = WeightMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if requests.get(i, j) {
+                    unit.set(i, j, 1);
+                }
+            }
+        }
+        assert_eq!(
+            maxsize.max_matching_size(&requests) as u128,
+            mwm.max_matching_weight(&unit),
+            "round={round}"
+        );
+    }
+}
+
+/// Regression for the trait contract: `schedule_weighted_into` (reused
+/// dirty buffer) and the allocating `schedule_weighted` shim agree slot by
+/// slot over a 100-slot run with evolving weights. Twin instances step in
+/// lockstep so stateful tie-break pointers advance identically.
+#[test]
+fn into_and_allocating_shim_agree_over_stateful_runs() {
+    const SLOTS: usize = 100;
+    let n = 8usize;
+    for kind in WeightedKind::ALL {
+        let mut via_into = kind.build(n);
+        let mut via_shim = kind.build(n);
+        let mut rng = StdRng::seed_from_u64(0xD157_0123);
+        let mut w = WeightMatrix::new(n);
+        let mut reused = Matching::from_pairs(n, [(0, 3), (3, 0)]); // starts dirty
+        for slot in 0..SLOTS {
+            // Evolve weights like a queue: random arrivals, served pairs drain.
+            for i in 0..n {
+                if rng.gen_bool(0.7) {
+                    let j = rng.gen_range(0..n);
+                    w.set(i, j, w.get(i, j) + rng.gen_range(1..100u64));
+                }
+            }
+            via_into.schedule_weighted_into(&w, &mut reused);
+            let allocated = via_shim.schedule_weighted(&w);
+            assert_eq!(reused, allocated, "{kind} slot={slot}: paths diverged");
+            for (i, j) in allocated.pairs() {
+                w.set(i, j, w.get(i, j).saturating_sub(w.get(i, j) / 2 + 1));
+            }
+        }
+    }
+}
+
+/// Strategy: an arbitrary weight matrix of side `n`. Zero cells are
+/// non-requests; weights span enough range to break greedy tie-luck.
+fn weight_matrix(n: usize) -> impl Strategy<Value = WeightMatrix> {
+    proptest::collection::vec(0..10_000u64, n * n).prop_map(move |cells| {
+        WeightMatrix::from_triples(
+            n,
+            cells
+                .iter()
+                .enumerate()
+                .map(|(idx, &w)| (idx / n, idx % n, w)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MWM weight dominates every registry scheduler's matching weight on
+    /// an arbitrary matrix, and the emitted matching realizes exactly the
+    /// weight the solver reports.
+    #[test]
+    fn prop_mwm_dominates_every_scheduler(w in weight_matrix(7), seed in any::<u64>()) {
+        let n = 7;
+        let mut mwm = MaxWeightMatcher::new(n);
+        let optimal = mwm.max_matching_weight(&w);
+        let mut out = Matching::from_pairs(n, [(1, 1)]); // dirty
+        mwm.schedule_weighted_into(&w, &mut out);
+        prop_assert_eq!(matching_weight(&w, &out), optimal);
+        let requests = w.to_requests();
+        for kind in SchedulerKind::ALL {
+            if kind.wants_fifo_queues() && (0..n).any(|i| requests.nrq(i) > 1) {
+                continue;
+            }
+            let mut sched = kind.build(n, 4, seed);
+            sched.schedule_into(&requests, &mut out);
+            prop_assert!(
+                matching_weight(&w, &out) <= optimal,
+                "{} beat the optimum", kind
+            );
+        }
+        for kind in WeightedKind::ALL {
+            let mut sched = kind.build(n);
+            sched.schedule_weighted_into(&w, &mut out);
+            prop_assert!(
+                matching_weight(&w, &out) <= optimal,
+                "{} beat the optimum", kind
+            );
+        }
+    }
+
+    /// Avis's ½ bound for greedy-by-weight, on arbitrary matrices.
+    #[test]
+    fn prop_greedy_weight_is_half_approx(w in weight_matrix(8)) {
+        let n = 8;
+        let mut mwm = MaxWeightMatcher::new(n);
+        let mut greedy = GreedyWeight::new(n, "lqf");
+        let mut out = Matching::new(n);
+        greedy.schedule_weighted_into(&w, &mut out);
+        prop_assert!(matching_weight(&w, &out) * 2 >= mwm.max_matching_weight(&w));
+    }
+
+    /// Unit weights reduce MWM to maximum size, for arbitrary patterns.
+    #[test]
+    fn prop_unit_weight_mwm_is_maxsize(w in weight_matrix(8)) {
+        let n = 8;
+        let requests = w.to_requests();
+        let mut unit = WeightMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if requests.get(i, j) {
+                    unit.set(i, j, 1);
+                }
+            }
+        }
+        let mut maxsize = MaxSizeMatcher::new(n);
+        let mut mwm = MaxWeightMatcher::new(n);
+        prop_assert_eq!(
+            maxsize.max_matching_size(&requests) as u128,
+            mwm.max_matching_weight(&unit)
+        );
+    }
+}

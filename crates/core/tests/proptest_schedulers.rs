@@ -27,7 +27,7 @@ fn hol_matrix(n: usize) -> impl Strategy<Value = RequestMatrix> {
 }
 
 /// Kinds that produce maximal matchings when given `n` iterations.
-const MAXIMAL_KINDS: [SchedulerKind; 8] = [
+const MAXIMAL_KINDS: [SchedulerKind; 9] = [
     SchedulerKind::LcfCentral,
     SchedulerKind::LcfCentralRr,
     SchedulerKind::LcfDist,
@@ -36,6 +36,7 @@ const MAXIMAL_KINDS: [SchedulerKind; 8] = [
     SchedulerKind::Islip,
     SchedulerKind::Wavefront,
     SchedulerKind::MaxSize,
+    SchedulerKind::MaxWeight,
 ];
 
 proptest! {

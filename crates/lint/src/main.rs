@@ -397,3 +397,33 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::scope_for;
+
+    /// The reference tier lives on the hot path: `mwm.rs` must sit inside
+    /// the `hot-path-alloc` (and the other core-crate) rule scopes, so its
+    /// `schedule_weighted_into` is held to the same no-allocation contract
+    /// as every production scheduler.
+    #[test]
+    fn mwm_module_is_in_hot_path_scope() {
+        let rules = scope_for("crates/core/src/mwm.rs");
+        assert!(rules.hot_path_alloc);
+        assert!(rules.no_panic);
+        assert!(rules.truncating_cast);
+        assert!(rules.hash_collections);
+        assert!(rules.wall_clock);
+    }
+
+    /// The oracle suite rides along in `crates/core/` path scope (the
+    /// hot-path pass itself exempts `#[test]`-gated fns), while the EXT-20
+    /// bench bin is outside hot scope but must still forbid `unsafe`.
+    #[test]
+    fn oracle_tests_and_bench_bins_scope_correctly() {
+        assert!(scope_for("crates/core/tests/mwm_oracle.rs").hot_path_alloc);
+        let bench = scope_for("crates/bench/src/bin/mwm_rank.rs");
+        assert!(!bench.hot_path_alloc);
+        assert!(bench.forbid_unsafe, "bins still must forbid unsafe");
+    }
+}

@@ -4,9 +4,9 @@ use crate::config::{ModelKind, SimConfig, TrafficKind};
 use crate::model::{drive, DriveOptions, SwitchModel};
 use crate::outbuf::ObSwitch;
 use crate::stats::SimStats;
-use crate::switch::{IqSwitch, QueueMode};
+use crate::switch::{IqSwitch, QueueMode, WeightSource};
 use crate::traffic::{Bernoulli, FastBernoulli, FastBursty, OnOffBursty, Traffic};
-use lcf_core::registry::SchedulerKind;
+use lcf_core::registry::{BackendChoice, SchedulerKind, WeightedKind};
 use rand::SeedableRng;
 
 /// The simulation RNG, pinned by name: ChaCha with 8 rounds, seeded via
@@ -145,13 +145,55 @@ pub fn run_sim_with_stats(cfg: &SimConfig) -> (SimReport, SimStats) {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket);
     let stats = drive(model.as_mut(), traffic.as_mut(), &mut rng, &opts);
-    let report = make_report(cfg, &stats, backend);
+    let report = make_report(cfg.model.name(), cfg, &stats, backend);
     (report, stats)
 }
 
-fn make_report(cfg: &SimConfig, stats: &SimStats, backend: String) -> SimReport {
+/// Builds the weighted-path switch for `kind`: queue-length or
+/// head-of-line-age weights per [`WeightedKind::age_weighted`], with the
+/// scheduler wrapped in a
+/// [`CheckedWeightedScheduler`](lcf_core::check::CheckedWeightedScheduler)
+/// in checked debug builds (validity + weight-bound oracle per slot).
+fn build_weighted_switch(cfg: &SimConfig, kind: WeightedKind) -> IqSwitch {
+    #[cfg(all(feature = "check-invariants", debug_assertions))]
+    let scheduler = kind.build_checked(cfg.n);
+    #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
+    let scheduler = kind.build(cfg.n);
+    let source = if kind.age_weighted() {
+        WeightSource::HolAge
+    } else {
+        WeightSource::QueueLength
+    };
+    IqSwitch::new_weighted(cfg.n, scheduler, source, cfg.voq_cap, cfg.pq_cap)
+}
+
+/// Runs one simulation of a *weighted* scheduler. The configuration's
+/// `model` field is ignored — the scheduler comes from `kind` (the
+/// weighted schedulers live outside the Fig. 12 [`ModelKind`] lineup);
+/// every other parameter (ports, load, traffic, seeds, queue capacities)
+/// has identical semantics to [`run_sim`].
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`].
+pub fn run_sim_weighted(cfg: &SimConfig, kind: WeightedKind) -> SimReport {
+    // lint:allow(no-panic): documented precondition (# Panics above)
+    cfg.validate().expect("invalid simulation config");
+    let mut switch = build_weighted_switch(cfg, kind);
+    let mut traffic = build_traffic(cfg);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let opts = DriveOptions::new(cfg.warmup_slots, cfg.measure_slots, cfg.max_latency_bucket);
+    let stats = drive(&mut switch, traffic.as_mut(), &mut rng, &opts);
+    make_report(
+        kind.name(),
+        cfg,
+        &stats,
+        BackendChoice::NoKernel.to_string(),
+    )
+}
+
+fn make_report(model: &str, cfg: &SimConfig, stats: &SimStats, backend: String) -> SimReport {
     SimReport {
-        model: cfg.model.name().to_string(),
+        model: model.to_string(),
         load: cfg.load,
         n: cfg.n,
         slots: cfg.measure_slots,
@@ -197,7 +239,10 @@ pub fn run_sim_traced(
         .traced(trace_capacity);
     let stats = drive(model.as_mut(), traffic.as_mut(), &mut rng, &opts);
     let telemetry = model.take_telemetry().unwrap_or_default();
-    (make_report(cfg, &stats, backend), telemetry)
+    (
+        make_report(cfg.model.name(), cfg, &stats, backend),
+        telemetry,
+    )
 }
 
 /// A simulation in a [`try_sweep`] batch that panicked instead of producing
@@ -473,19 +518,50 @@ pub fn replicate_seed(base: u64, index: usize) -> u64 {
 /// Panics if the configuration fails [`SimConfig::validate`], if
 /// `replications == 0`, or if any replicate panics.
 pub fn run_replicated(cfg: &SimConfig, replications: usize) -> ReplicatedReport {
-    // lint:allow(no-panic): documented preconditions (# Panics above)
+    run_replicated_with(cfg, replications, cfg.model.name(), &run_sim)
+}
+
+/// [`run_replicated`] for the weighted schedulers: `R` independent copies
+/// of [`run_sim_weighted`] merged into mean / 95% CI estimates, with the
+/// same per-replicate seed derivation and determinism contract. The
+/// configuration's `model` field is ignored (the scheduler comes from
+/// `kind`).
+///
+/// # Panics
+/// Panics if the configuration fails [`SimConfig::validate`], if
+/// `replications == 0`, or if any replicate panics.
+pub fn run_replicated_weighted(
+    cfg: &SimConfig,
+    kind: WeightedKind,
+    replications: usize,
+) -> ReplicatedReport {
+    run_replicated_with(cfg, replications, kind.name(), &|rep_cfg| {
+        run_sim_weighted(rep_cfg, kind)
+    })
+}
+
+/// Shared replication engine: runs `replications` copies of `cfg` through
+/// `run` (seeds from [`replicate_seed`]) on the scoped thread pool and
+/// aggregates the reports under `model`.
+fn run_replicated_with(
+    cfg: &SimConfig,
+    replications: usize,
+    model: &str,
+    run: &(dyn Fn(&SimConfig) -> SimReport + Sync),
+) -> ReplicatedReport {
+    // lint:allow(no-panic): documented preconditions (# Panics on the public wrappers)
     assert!(replications > 0, "replications must be positive");
-    // lint:allow(no-panic): documented precondition (# Panics above)
+    // lint:allow(no-panic): documented precondition (# Panics on the public wrappers)
     cfg.validate().expect("invalid simulation config");
     let reports: Vec<SimReport> = parallel_indexed(replications, |idx| {
         let rep_cfg = SimConfig {
             seed: replicate_seed(cfg.seed, idx),
             ..cfg.clone()
         };
-        run_sim(&rep_cfg)
+        run(&rep_cfg)
     })
     .into_iter()
-    // lint:allow(no-panic): a panicking replicate is unrecoverable (# Panics above)
+    // lint:allow(no-panic): a panicking replicate is unrecoverable (# Panics on the public wrappers)
     .map(|outcome| outcome.unwrap_or_else(|e| panic!("replication panicked: {e}")))
     .collect();
 
@@ -493,7 +569,7 @@ pub fn run_replicated(cfg: &SimConfig, replications: usize) -> ReplicatedReport 
         MeanCi::from_samples(&reports.iter().map(f).collect::<Vec<f64>>())
     };
     ReplicatedReport {
-        model: cfg.model.name().to_string(),
+        model: model.to_string(),
         load: cfg.load,
         n: cfg.n,
         replications,
@@ -835,6 +911,60 @@ mod tests {
             );
             assert_eq!(rep.loss_rate.mean, 0.0);
         }
+    }
+
+    #[test]
+    fn run_sim_weighted_covers_every_kind() {
+        // The weighted path drives every registry kind through the full
+        // slot loop — in debug builds this also exercises the
+        // CheckedWeightedScheduler (validity + weight-bound oracle) and
+        // the slot-loop weighted invariant check on every slot.
+        for kind in WeightedKind::ALL {
+            let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.7);
+            cfg.measure_slots = 2_000;
+            cfg.warmup_slots = 500;
+            let r = run_sim_weighted(&cfg, kind);
+            assert_eq!(r.model, kind.name());
+            assert_eq!(r.n, 8);
+            assert!(r.delivered > 0, "{kind}");
+            assert!(r.throughput > 0.6, "{kind}: throughput {}", r.throughput);
+            assert!(r.backend.contains("no word-parallel kernel"));
+        }
+    }
+
+    #[test]
+    fn run_sim_weighted_is_deterministic() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.8);
+        cfg.measure_slots = 2_000;
+        let a = run_sim_weighted(&cfg, WeightedKind::Mwm);
+        let b = run_sim_weighted(&cfg, WeightedKind::Mwm);
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        cfg.seed += 1;
+        let c = run_sim_weighted(&cfg, WeightedKind::Mwm);
+        assert_ne!(
+            (a.delivered, a.mean_latency_slots),
+            (c.delivered, c.mean_latency_slots)
+        );
+    }
+
+    #[test]
+    fn run_replicated_weighted_is_deterministic_and_anchored() {
+        let mut cfg = quick_cfg(ModelKind::Scheduler(SchedulerKind::LcfCentral), 0.7);
+        cfg.measure_slots = 1_500;
+        cfg.warmup_slots = 300;
+        cfg.traffic = TrafficKind::FastBernoulli;
+        let a = run_replicated_weighted(&cfg, WeightedKind::NwGreedy, 3);
+        let b = run_replicated_weighted(&cfg, WeightedKind::NwGreedy, 3);
+        assert_eq!(a, b, "same (seed, R) must reproduce bit-identically");
+        assert_eq!(a.model, "nwgreedy");
+        assert_eq!(
+            a.reports[0],
+            run_sim_weighted(&cfg, WeightedKind::NwGreedy),
+            "replicate 0 runs the base seed"
+        );
+        // Growing R appends replicates without disturbing earlier ones.
+        let c = run_replicated_weighted(&cfg, WeightedKind::NwGreedy, 5);
+        assert_eq!(&c.reports[..3], &a.reports[..]);
     }
 
     #[test]

@@ -448,6 +448,18 @@ impl IqSwitch {
                     }
                 }
                 sched.schedule_weighted_into(weights, &mut self.last_matching);
+                // Weighted twin of the boolean invariant check above:
+                // conflict-free, grant ⊆ positive-weight request, maximal.
+                // Allocation-free, so it can run per slot.
+                #[cfg(all(feature = "check-invariants", debug_assertions))]
+                if let Err(v) =
+                    lcf_core::check::check_weighted_matching(weights, &self.last_matching)
+                {
+                    // lint:allow(no-panic): invariant checker aborts on a broken scheduler
+                    panic!("slot loop (weighted): {v}");
+                }
+                #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
+                debug_assert!(self.last_matching.is_conflict_free());
             }
         }
         let matching = &self.last_matching;

@@ -71,6 +71,67 @@ fn ocf_bounds_the_tail_better_than_pure_lcf() {
 }
 
 #[test]
+fn mwm_switch_sustains_high_uniform_load() {
+    let n = 16;
+    let sw = IqSwitch::new_weighted(
+        n,
+        Box::new(MaxWeightMatcher::new(n)),
+        WeightSource::QueueLength,
+        256,
+        1000,
+    );
+    let (stats, sw) = drive_iq(sw, 0.95, 20_000, 3);
+    let throughput = stats.delivered as f64 / (20_000.0 * n as f64);
+    assert!(throughput > 0.9, "MWM throughput {throughput}");
+    let accounted = stats.delivered + stats.dropped() + sw.buffered_packets() as u64;
+    assert_eq!(stats.generated, accounted);
+}
+
+#[test]
+fn nwgreedy_tracks_the_reference_tier_closely() {
+    let n = 16;
+    let slots = 20_000;
+    let greedy = IqSwitch::new_weighted(
+        n,
+        Box::new(NodeWeightedGreedy::new(n)),
+        WeightSource::QueueLength,
+        256,
+        1000,
+    );
+    let (greedy_stats, _) = drive_iq(greedy, 0.9, slots, 11);
+    let mwm = IqSwitch::new_weighted(
+        n,
+        Box::new(MaxWeightMatcher::new(n)),
+        WeightSource::QueueLength,
+        256,
+        1000,
+    );
+    let (mwm_stats, _) = drive_iq(mwm, 0.9, slots, 11);
+    let gt = greedy_stats.delivered as f64 / (slots as f64 * n as f64);
+    let mt = mwm_stats.delivered as f64 / (slots as f64 * n as f64);
+    assert!(gt > 0.85, "nwgreedy throughput {gt}");
+    // The O(n log n) heuristic must stay within a few percent of the O(n³)
+    // exact matcher on uniform traffic — the point of shipping it at all.
+    assert!(
+        gt > mt - 0.03,
+        "nwgreedy throughput {gt} falls too far below MWM's {mt}"
+    );
+}
+
+#[test]
+fn weighted_runner_is_reachable_from_the_facade() {
+    let mut cfg = lcf_switch::sim::config::SimConfig::paper_default();
+    cfg.n = 8;
+    cfg.warmup_slots = 200;
+    cfg.measure_slots = 2_000;
+    for kind in WeightedKind::ALL {
+        let report = lcf_switch::sim::runner::run_sim_weighted(&cfg, kind);
+        assert_eq!(report.model, kind.name());
+        assert!(report.throughput > 0.0, "{kind}: no packets delivered");
+    }
+}
+
+#[test]
 fn cioq_speedup_two_emulates_output_queueing() {
     let n = 16;
     let slots = 30_000u64;
