@@ -1,0 +1,178 @@
+//! Queue-length evolution over time (EXT-21): per-window backlog occupancy
+//! snapshots from the sharded serve loop, `lcf_central_rr` vs `islip` at
+//! loads 0.95 and 0.99.
+//!
+//! The Fig. 12-style experiments report *steady-state* delay; this one
+//! watches the queues get there. Each (scheduler, load) point runs the
+//! `lcf serve` engine — 4 shards, independent seeds, lock-step windows —
+//! starting from empty queues with **no warm-up**, so the window-by-window
+//! trajectory shows the transient ramp, the settling into steady state, and
+//! (at 0.99) how much longer LCF's smaller matchings-backlog takes to
+//! stabilize than iSLIP's. Per window the serve loop merges each shard's
+//! per-slot backlog histogram; the CSV records the mean and the p50/p99
+//! occupancy quantiles of every window.
+//!
+//! Usage: `cargo run --release -p lcf-bench --bin queue_evolution [--quick] [--seed N]`
+//!
+//! `--quick` shrinks windows and horizon for smoke tests (CI runs it this
+//! way); the committed `results/queue_evolution.csv` comes from the full
+//! run: 4 shards x 40 windows x 25 000 slots per point.
+
+#![forbid(unsafe_code)]
+
+use lcf_bench::cli;
+use lcf_bench::table::{ascii_table, f2, write_csv};
+use lcf_core::registry::SchedulerKind;
+use lcf_sim::config::{ModelKind, SimConfig, TrafficKind};
+use lcf_sim::serve::{serve, ServeConfig};
+
+fn main() {
+    let quick = cli::quick_mode();
+    let seed = cli::seed_arg().unwrap_or(0x9_E0E);
+    let (window_slots, windows) = if quick {
+        (2_000u64, 6u64)
+    } else {
+        (25_000u64, 40u64)
+    };
+    let shards = 4usize;
+    let loads = [0.95, 0.99];
+    let models = [SchedulerKind::LcfCentralRr, SchedulerKind::Islip];
+    eprintln!(
+        "queue_evolution: n=16 uniform FastBernoulli, {shards} shards x {windows} windows x \
+         {window_slots} slots, no warmup, seed={seed}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for kind in models {
+        for load in loads {
+            let base = SimConfig {
+                model: ModelKind::Scheduler(kind),
+                load,
+                traffic: TrafficKind::FastBernoulli,
+                // Loss-free horizon, like heavy_traffic: the trajectory is
+                // only meaningful while no queue clips.
+                pq_cap: 20_000,
+                voq_cap: 10_000,
+                // No warm-up: the ramp from empty queues IS the experiment.
+                warmup_slots: 0,
+                measure_slots: 0,
+                seed,
+                max_latency_bucket: 65_536,
+                ..SimConfig::paper_default()
+            };
+            let cfg = ServeConfig {
+                shards,
+                window_slots,
+                windows,
+                drain_deadline_slots: 2_000_000,
+                occupancy_range: 1 << 16,
+                ..ServeConfig::new(base)
+            };
+            let outcome = serve(&cfg).expect("serve run");
+            assert_eq!(outcome.windows_run, windows);
+            assert!(
+                outcome.drained,
+                "{} at load {load} failed to drain",
+                kind.name()
+            );
+            let mut final_mean = 0.0;
+            for (w, merged) in outcome.merged.iter().enumerate() {
+                assert_eq!(
+                    merged.counter("serve.dropped"),
+                    0,
+                    "{} at load {load}: packets dropped — queues undersized",
+                    kind.name()
+                );
+                let occupancy = merged
+                    .histogram("serve.occupancy")
+                    .expect("serve emits occupancy histograms");
+                let mean_backlog: f64 = (0..shards)
+                    .map(|s| {
+                        merged
+                            .gauge(&format!("serve.shard.{s}.mean_backlog"))
+                            .expect("per-shard mean backlog gauge")
+                    })
+                    .sum::<f64>()
+                    / shards as f64;
+                final_mean = mean_backlog;
+                csv_rows.push(vec![
+                    kind.name().to_string(),
+                    format!("{load}"),
+                    format!("{w}"),
+                    format!("{}", (w as u64 + 1) * window_slots),
+                    f2(mean_backlog),
+                    format!("{}", occupancy.quantile_lower_bound(0.5)),
+                    format!("{}", occupancy.quantile_lower_bound(0.99)),
+                    format!("{}", merged.counter("serve.delivered")),
+                    f2(merged.gauge("serve.mean_latency").unwrap_or(0.0)),
+                    format!("{shards}"),
+                    format!("{window_slots}"),
+                ]);
+            }
+            let first = &outcome.merged[0];
+            let first_mean: f64 = (0..shards)
+                .map(|s| {
+                    first
+                        .gauge(&format!("serve.shard.{s}.mean_backlog"))
+                        .unwrap_or(0.0)
+                })
+                .sum::<f64>()
+                / shards as f64;
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{load:.2}"),
+                format!("{windows}"),
+                f2(first_mean),
+                f2(final_mean),
+                format!("{:.2}", final_mean / first_mean.max(1e-9)),
+            ]);
+            eprintln!(
+                "  {} load {load}: mean backlog {:.1} -> {:.1} packets over {windows} windows",
+                kind.name(),
+                first_mean,
+                final_mean
+            );
+        }
+    }
+
+    println!("\nQueue-length evolution — n=16, uniform Bernoulli (fast path), from empty queues");
+    println!("(mean backlog per window, averaged across 4 independent shards)");
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "model",
+                "load",
+                "windows",
+                "window0 backlog",
+                "final backlog",
+                "ramp factor",
+            ],
+            &rows
+        )
+    );
+
+    let dir = cli::results_dir();
+    let path = dir.join("queue_evolution.csv");
+    write_csv(
+        &path,
+        &[
+            "model",
+            "load",
+            "window",
+            "slot",
+            "mean_backlog",
+            "p50_backlog",
+            "p99_backlog",
+            "delivered",
+            "mean_latency_slots",
+            "shards",
+            "window_slots",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

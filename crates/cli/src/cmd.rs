@@ -40,6 +40,14 @@ pub fn help() -> String {
      \x20 trace      replay one seed and pretty-print scheduler decisions\n\
      \x20            [--scheduler lcf_central_rr] [--ports 4] [--load 0.85]\n\
      \x20            [--slots 12] [--seed N] (needs the `telemetry` feature)\n\
+     \x20 serve      long-lived sharded engine: windowed sessions, merged\n\
+     \x20            telemetry snapshots, online reconfiguration, drain\n\
+     \x20            [--shards 4] [--window-slots 5000] [--snapshots 8]\n\
+     \x20            [--control script.txt] [--drain-deadline 50000]\n\
+     \x20            [--occupancy-range 4096] [...simulate opts]\n\
+     \x20            control script: 'at <window> scheduler <name>',\n\
+     \x20            'at <window> backend <scalar|bitset>', 'at <window>\n\
+     \x20            load <frac>', 'at <window> drain' ('#' comments)\n\
      \x20 hw         hardware cost summary [--ports 16] [--clock-mhz 66]\n\
      \x20 fabric     crossbar vs Clos dimensioning --ports 64\n\
      \x20 clint      simulate the Clint interconnect\n\
@@ -246,6 +254,47 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     }
     let report = run_sim(&cfg);
     Ok(report_block(&report))
+}
+
+/// `lcf serve`: the long-lived sharded engine. One JSON snapshot line per
+/// measurement window (merged across shards, byte-deterministic), the
+/// final drain line, then a human summary.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let name = args.get("scheduler").unwrap_or("lcf_central_rr");
+    let model =
+        ModelKind::from_name(name).ok_or_else(|| format!("unknown scheduler/model `{name}`"))?;
+    let base = sim_config(args, model)?;
+    let script = match args.get("control") {
+        None => lcf_sim::serve::ControlScript::empty(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            lcf_sim::serve::ControlScript::parse(&text)?
+        }
+    };
+    let defaults = lcf_sim::serve::ServeConfig::new(base);
+    let cfg = lcf_sim::serve::ServeConfig {
+        shards: args.get_parsed("shards", defaults.shards)?,
+        window_slots: args.get_parsed("window-slots", defaults.window_slots)?,
+        windows: args.get_parsed("snapshots", defaults.windows)?,
+        drain_deadline_slots: args.get_parsed("drain-deadline", defaults.drain_deadline_slots)?,
+        occupancy_range: args.get_parsed("occupancy-range", defaults.occupancy_range)?,
+        script,
+        ..defaults
+    };
+    let outcome = lcf_sim::serve::serve(&cfg)?;
+    let mut out = String::new();
+    for line in &outcome.snapshots {
+        writeln!(out, "{line}").unwrap();
+    }
+    writeln!(out, "{}", outcome.drain_json).unwrap();
+    writeln!(
+        out,
+        "serve          {} shards x {} windows x {} slots; drained={}",
+        cfg.shards, outcome.windows_run, cfg.window_slots, outcome.drained
+    )
+    .unwrap();
+    Ok(out)
 }
 
 fn simulate_weighted(args: &Args, kind: WeightedKind) -> Result<String, String> {
@@ -982,6 +1031,72 @@ mod tests {
         ]);
         let err = simulate(&args).unwrap_err();
         assert!(err.contains("--features telemetry"), "{err}");
+    }
+
+    #[test]
+    fn serve_emits_deterministic_snapshots_and_drain() {
+        let argv = [
+            "--scheduler",
+            "lcf_central_rr",
+            "--ports",
+            "4",
+            "--load",
+            "0.6",
+            "--warmup",
+            "200",
+            "--shards",
+            "2",
+            "--window-slots",
+            "250",
+            "--snapshots",
+            "2",
+        ];
+        let out = serve(&parse(&argv)).unwrap();
+        assert!(out.contains("{\"window\":0,"), "{out}");
+        assert!(out.contains("{\"window\":1,"), "{out}");
+        assert!(out.contains("\"drain\":"), "{out}");
+        assert!(out.contains("drained=true"), "{out}");
+        let again = serve(&parse(&argv)).unwrap();
+        assert_eq!(out, again, "serve output must be run-to-run deterministic");
+    }
+
+    #[test]
+    fn serve_applies_control_script() {
+        let dir = std::env::temp_dir();
+        let script = dir.join("lcf_cli_test_serve_control.txt");
+        std::fs::write(&script, "at 1 scheduler islip\nat 1 load 0.3\n").unwrap();
+        let out = serve(&parse(&[
+            "--scheduler",
+            "lcf_central_rr",
+            "--ports",
+            "4",
+            "--load",
+            "0.6",
+            "--warmup",
+            "100",
+            "--shards",
+            "2",
+            "--window-slots",
+            "200",
+            "--snapshots",
+            "2",
+            "--control",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&script);
+        assert!(out.contains("{\"window\":1,"), "{out}");
+        assert!(out.contains("drained=true"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_control_script() {
+        let dir = std::env::temp_dir();
+        let script = dir.join("lcf_cli_test_serve_bad_control.txt");
+        std::fs::write(&script, "at 1 scheduler nope\n").unwrap();
+        let err = serve(&parse(&["--control", script.to_str().unwrap()])).unwrap_err();
+        let _ = std::fs::remove_file(&script);
+        assert!(err.contains("unknown scheduler"), "{err}");
     }
 
     #[test]

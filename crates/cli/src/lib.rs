@@ -6,6 +6,7 @@
 //! lcf schedule  --requests "0:1,2;1:0,2,3;2:0,2,3;3:1" [--scheduler lcf_central_rr]
 //! lcf simulate  --scheduler islip --load 0.8 [--ports 16] [--slots 100000]
 //! lcf sweep     --loads 0.5,0.8,0.9 [--schedulers all]
+//! lcf serve     --shards 4 --window-slots 5000 --snapshots 8 [--control script.txt]
 //! lcf trace     --scheduler lcf_central_rr --ports 4 --slots 12
 //! lcf hw        [--ports 16] [--clock-mhz 66]
 //! lcf fabric    --ports 64
@@ -32,6 +33,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "schedule" => cmd::schedule(&rest),
         "simulate" => cmd::simulate(&rest),
         "sweep" => cmd::sweep(&rest),
+        "serve" => cmd::serve(&rest),
         "trace" => cmd::trace(&rest),
         "hw" => cmd::hw(&rest),
         "fabric" => cmd::fabric(&rest),

@@ -11,7 +11,7 @@
 //! | `no-panic` | no `unwrap()`/`expect()`/`panic!` in non-test library code | core, sim, telemetry, fabric, clint, hw |
 //! | `truncating-cast` | no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` casts (port indices are `usize`; narrowing must be `try_from`) | core, sim, fabric |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every crate root (`src/lib.rs` / `src/main.rs` / `src/bin/*.rs`) | whole workspace |
-//! | `hot-path-alloc` | no `Matching::new`, `vec![...]` or `with_capacity` inside per-slot hot functions (`schedule_into`, `schedule_weighted_into`, `step`) **or any same-crate fn they call** — buffers are sized at construction and reused | core, sim |
+//! | `hot-path-alloc` | no `Matching::new`, `vec![...]` or `with_capacity` inside per-slot hot functions (`schedule_into`, `schedule_weighted_into`, `step`, `step_window`) **or any same-crate fn they call** — buffers are sized at construction and reused | core, sim |
 //! | `rng-stream` | no branch-dependent RNG draw (a draw reachable under only one arm of `if`/`match`, in a `while`/`loop`, or inside a lazy combinator closure) unless the enclosing fn documents its draw-count contract with `lint:allow(rng-stream): ...` | sim traffic, rng |
 //! | `telemetry-hygiene` | no use of `lcf_telemetry` symbols outside a `#[cfg(feature = "telemetry")]`-gated item or block — the default-off hot path must provably not touch telemetry | core, sim, clint, cli |
 //!
@@ -215,9 +215,14 @@ fn allow_tags(comments: &[Comment]) -> Vec<AllowTag> {
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Function names whose bodies are per-slot hot paths under the
-/// `hot-path-alloc` rule: the primary scheduling methods and the switch
-/// models' slot step.
-const HOT_FNS: [&str; 3] = ["schedule_into", "schedule_weighted_into", "step"];
+/// `hot-path-alloc` rule: the primary scheduling methods, the switch
+/// models' slot step, and the serve engine's windowed stepping loop.
+const HOT_FNS: [&str; 4] = [
+    "schedule_into",
+    "schedule_weighted_into",
+    "step",
+    "step_window",
+];
 
 /// Method names whose body draws count as RNG draws under `rng-stream`.
 /// `next` covers the bulk samplers' generic word source (`FnMut() -> u32`);
@@ -916,6 +921,27 @@ mod tests {
         assert_eq!(
             rules_of(&lint_all(&src)),
             [rules::HOT_PATH_ALLOC, rules::HOT_PATH_ALLOC]
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_step_window() {
+        let src =
+            format!("{PREAMBLE}fn step_window(&mut self, n: u64) {{ let v = vec![0; 8]; }}\n");
+        assert_eq!(rules_of(&lint_all(&src)), [rules::HOT_PATH_ALLOC]);
+        // The serve engine's windowed loop is a root, so its same-crate
+        // callees are scanned one level deep too.
+        let src2 = format!(
+            "{PREAMBLE}fn step_window(&mut self, n: u64) {{ self.sample(); }}\n\
+             fn sample(&mut self) {{ let h = Vec::with_capacity(64); }}\n"
+        );
+        let f = lint_all(&src2);
+        assert_eq!(rules_of(&f), [rules::HOT_PATH_ALLOC]);
+        assert!(
+            f[0].excerpt
+                .contains("`sample` called from hot `step_window`"),
+            "{}",
+            f[0].excerpt
         );
     }
 

@@ -16,10 +16,13 @@
 //!   speedup and pipelined scheduling,
 //! * [`outbuf::ObSwitch`] — the output-buffered reference (`outbuf`).
 //!
-//! One warm-up + measurement slot loop, [`model::drive`], runs them all;
-//! the [`runner`] module wraps it with config handling and parallel load
-//! sweeps (one simulation per thread; each simulation is single-threaded
-//! and fully deterministic under its seed).
+//! One windowed slot loop, [`session::DriveSession`], runs them all: the
+//! one-shot [`model::drive`] protocol is a thin warm-up + measurement
+//! wrapper over it, the [`runner`] module adds config handling and parallel
+//! load sweeps (one simulation per thread; each simulation is
+//! single-threaded and fully deterministic under its seed), and the
+//! [`serve`] module keeps sharded sessions alive across measurement
+//! windows with merged telemetry and online reconfiguration.
 //!
 //! ```
 //! use lcf_sim::prelude::*;
@@ -47,6 +50,8 @@ pub mod outbuf;
 pub mod packet;
 pub mod queues;
 pub mod runner;
+pub mod serve;
+pub mod session;
 pub mod stats;
 pub mod switch;
 pub mod traffic;
@@ -59,8 +64,10 @@ pub mod prelude {
     pub use crate::outbuf::ObSwitch;
     pub use crate::packet::Packet;
     pub use crate::runner::{run_sim, sweep, SimReport};
+    pub use crate::serve::{serve, ControlScript, ServeConfig, ServeOutcome};
+    pub use crate::session::{DrainReport, DriveSession, WindowReport};
     pub use crate::stats::SimStats;
     pub use crate::switch::{CrossbarSwitch, IqSwitch, QueueMode};
-    pub use crate::traffic::{DestPattern, Traffic};
+    pub use crate::traffic::{DestPattern, Silence, Traffic};
     pub use lcf_core::prelude::*;
 }

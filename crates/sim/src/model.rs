@@ -95,6 +95,128 @@ pub trait SwitchModel {
     /// schedulers have no time base) into `sink`. Default: no events.
     #[cfg(feature = "telemetry")]
     fn drain_scheduler_events(&mut self, _sink: &mut dyn FnMut(lcf_telemetry::Event)) {}
+
+    /// Replaces the scheduler driving the model (online reconfiguration
+    /// between serve windows). Queue contents are preserved; the queueing
+    /// discipline is fixed at construction. Default: unsupported.
+    fn swap_scheduler(
+        &mut self,
+        scheduler: Box<dyn lcf_core::traits::Scheduler + Send>,
+    ) -> Result<(), String> {
+        let _ = scheduler;
+        Err(format!(
+            "{} does not support scheduler swap",
+            self.scheduler_name()
+        ))
+    }
+}
+
+/// Forwarding impl so a borrowed model (`&mut dyn SwitchModel`) can sit in
+/// a [`DriveSession`](crate::session::DriveSession) exactly like an owned
+/// one.
+impl<M: SwitchModel + ?Sized> SwitchModel for &mut M {
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+
+    fn scheduler_name(&self) -> &'static str {
+        (**self).scheduler_name()
+    }
+
+    fn step(
+        &mut self,
+        slot: u64,
+        traffic: &mut dyn Traffic,
+        rng: &mut StdRng,
+        stats: &mut SimStats,
+    ) {
+        (**self).step(slot, traffic, rng, stats);
+    }
+
+    fn buffered_packets(&self) -> usize {
+        (**self).buffered_packets()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn enable_telemetry(&mut self, trace_capacity: usize) {
+        (**self).enable_telemetry(trace_capacity);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn take_telemetry(&mut self) -> Option<Box<SwitchTelemetry>> {
+        (**self).take_telemetry()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn telemetry_mut(&mut self) -> Option<&mut SwitchTelemetry> {
+        (**self).telemetry_mut()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_scheduler_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        (**self).drain_scheduler_events(sink);
+    }
+
+    fn swap_scheduler(
+        &mut self,
+        scheduler: Box<dyn lcf_core::traits::Scheduler + Send>,
+    ) -> Result<(), String> {
+        (**self).swap_scheduler(scheduler)
+    }
+}
+
+/// Forwarding impl so an owned boxed model (`Box<dyn SwitchModel>`) can sit
+/// in a [`DriveSession`](crate::session::DriveSession) (serve shards own
+/// their models).
+impl<M: SwitchModel + ?Sized> SwitchModel for Box<M> {
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+
+    fn scheduler_name(&self) -> &'static str {
+        (**self).scheduler_name()
+    }
+
+    fn step(
+        &mut self,
+        slot: u64,
+        traffic: &mut dyn Traffic,
+        rng: &mut StdRng,
+        stats: &mut SimStats,
+    ) {
+        (**self).step(slot, traffic, rng, stats);
+    }
+
+    fn buffered_packets(&self) -> usize {
+        (**self).buffered_packets()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn enable_telemetry(&mut self, trace_capacity: usize) {
+        (**self).enable_telemetry(trace_capacity);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn take_telemetry(&mut self) -> Option<Box<SwitchTelemetry>> {
+        (**self).take_telemetry()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn telemetry_mut(&mut self) -> Option<&mut SwitchTelemetry> {
+        (**self).telemetry_mut()
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn drain_scheduler_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
+        (**self).drain_scheduler_events(sink);
+    }
+
+    fn swap_scheduler(
+        &mut self,
+        scheduler: Box<dyn lcf_core::traits::Scheduler + Send>,
+    ) -> Result<(), String> {
+        (**self).swap_scheduler(scheduler)
+    }
 }
 
 /// Parameters of one [`drive`] run.
@@ -156,40 +278,31 @@ pub fn drive(
     rng: &mut StdRng,
     opts: &DriveOptions,
 ) -> SimStats {
-    let n = model.num_ports();
-    #[cfg(feature = "telemetry")]
-    let mut scratch: Vec<lcf_telemetry::Event> = Vec::new();
     #[cfg(not(feature = "telemetry"))]
     let _ = opts.trace_capacity;
 
-    let mut warm_stats = SimStats::new(n, 0, opts.max_latency_bucket);
-    for slot in 0..opts.warmup_slots {
-        model.step(slot, traffic, rng, &mut warm_stats);
-        #[cfg(feature = "telemetry")]
-        relay_scheduler_events(model, &mut scratch);
-    }
-
+    let mut session =
+        crate::session::DriveSession::new(model, traffic, rng, opts.max_latency_bucket);
+    session.step_window(opts.warmup_slots);
     #[cfg(feature = "telemetry")]
     if let Some(cap) = opts.trace_capacity {
-        model.enable_telemetry(cap);
+        session.enable_telemetry(cap);
     }
-
-    let start = opts.warmup_slots;
-    let mut stats = SimStats::new(n, start, opts.max_latency_bucket);
-    for slot in start..start + opts.measure_slots {
-        model.step(slot, traffic, rng, &mut stats);
-        #[cfg(feature = "telemetry")]
-        relay_scheduler_events(model, &mut scratch);
-    }
-    stats
+    session.begin_measurement();
+    session.step_window(opts.measure_slots);
+    session.into_stats()
 }
 
 /// Moves the scheduler's decision events into the model's trace, re-stamped
-/// with the model's slot clock. The scratch buffer is owned by the [`drive`]
-/// call and reused across slots; schedulers record events only while
-/// tracing, so this is a no-op for untraced runs.
+/// with the model's slot clock. The scratch buffer is owned by the
+/// [`DriveSession`](crate::session::DriveSession) and reused across slots;
+/// schedulers record events only while tracing, so this is a no-op for
+/// untraced runs.
 #[cfg(feature = "telemetry")]
-fn relay_scheduler_events(model: &mut dyn SwitchModel, scratch: &mut Vec<lcf_telemetry::Event>) {
+pub(crate) fn relay_scheduler_events(
+    model: &mut dyn SwitchModel,
+    scratch: &mut Vec<lcf_telemetry::Event>,
+) {
     model.drain_scheduler_events(&mut |e| scratch.push(e));
     if let Some(t) = model.telemetry_mut() {
         for mut e in scratch.drain(..) {
@@ -242,6 +355,13 @@ impl SwitchModel for IqSwitch {
     #[cfg(feature = "telemetry")]
     fn drain_scheduler_events(&mut self, sink: &mut dyn FnMut(lcf_telemetry::Event)) {
         IqSwitch::drain_scheduler_events(self, sink);
+    }
+
+    fn swap_scheduler(
+        &mut self,
+        scheduler: Box<dyn lcf_core::traits::Scheduler + Send>,
+    ) -> Result<(), String> {
+        IqSwitch::swap_scheduler(self, scheduler).map(|_| ())
     }
 }
 

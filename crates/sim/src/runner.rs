@@ -79,18 +79,14 @@ impl SimReport {
 /// [`CheckedScheduler`](lcf_core::check::CheckedScheduler) that validates
 /// every matching in the slot loop (and shadows bitset kernels with their
 /// scalar twin); release builds run the bare scheduler.
-fn build_model(cfg: &SimConfig) -> (Box<dyn SwitchModel>, String) {
+pub(crate) fn build_model(cfg: &SimConfig) -> (Box<dyn SwitchModel>, String) {
     match cfg.model {
         ModelKind::OutputBuffered => (
             Box::new(ObSwitch::new(cfg.n, cfg.pq_cap, cfg.outbuf_cap)),
             "n/a (no scheduler)".to_string(),
         ),
         ModelKind::Scheduler(kind) => {
-            let (iterations, seed) = (cfg.iterations_for_model(), cfg.seed ^ 0x5EED);
-            #[cfg(all(feature = "check-invariants", debug_assertions))]
-            let (scheduler, choice) = kind.build_checked(cfg.n, iterations, seed, cfg.backend);
-            #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
-            let (scheduler, choice) = kind.build_with_backend(cfg.n, iterations, seed, cfg.backend);
+            let (scheduler, choice) = build_scheduler(cfg, kind);
             let mode = if kind == SchedulerKind::Fifo {
                 QueueMode::SingleFifo { cap: cfg.voq_cap }
             } else {
@@ -98,13 +94,29 @@ fn build_model(cfg: &SimConfig) -> (Box<dyn SwitchModel>, String) {
             };
             (
                 Box::new(IqSwitch::new(cfg.n, scheduler, mode, cfg.pq_cap)),
-                choice.to_string(),
+                choice,
             )
         }
     }
 }
 
-fn build_traffic(cfg: &SimConfig) -> Box<dyn Traffic> {
+/// Builds the boolean scheduler for `kind` exactly the way [`build_model`]
+/// does (same `seed ^ 0x5EED` derivation, same checked-build gating) — the
+/// serve layer uses this for online scheduler swaps, so a swapped-in
+/// scheduler is indistinguishable from one built at construction.
+pub(crate) fn build_scheduler(
+    cfg: &SimConfig,
+    kind: SchedulerKind,
+) -> (Box<dyn lcf_core::traits::Scheduler + Send>, String) {
+    let (iterations, seed) = (cfg.iterations_for_model(), cfg.seed ^ 0x5EED);
+    #[cfg(all(feature = "check-invariants", debug_assertions))]
+    let (scheduler, choice) = kind.build_checked(cfg.n, iterations, seed, cfg.backend);
+    #[cfg(not(all(feature = "check-invariants", debug_assertions)))]
+    let (scheduler, choice) = kind.build_with_backend(cfg.n, iterations, seed, cfg.backend);
+    (scheduler, choice.to_string())
+}
+
+pub(crate) fn build_traffic(cfg: &SimConfig) -> Box<dyn Traffic> {
     match &cfg.traffic {
         TrafficKind::Bernoulli => Box::new(Bernoulli::new(cfg.n, cfg.load, cfg.pattern.clone())),
         TrafficKind::Bursty { mean_burst } => Box::new(OnOffBursty::new(

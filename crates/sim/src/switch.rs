@@ -233,6 +233,43 @@ impl IqSwitch {
         }
     }
 
+    /// Replaces the boolean scheduler driving the switch (online
+    /// reconfiguration between serve windows); returns the scheduler that
+    /// was running. Queue contents, request matrix and matching buffers are
+    /// untouched — only the decision engine changes. The queueing
+    /// discipline is fixed at construction, so callers must not swap in a
+    /// scheduler that expects the other discipline (the serve layer
+    /// rejects `fifo` swaps for this reason).
+    ///
+    /// Errors on a port-count mismatch or on a weighted engine (weighted
+    /// schedulers carry weight-source state that a swap cannot preserve).
+    pub fn swap_scheduler(
+        &mut self,
+        scheduler: Box<dyn Scheduler + Send>,
+    ) -> Result<Box<dyn Scheduler + Send>, String> {
+        if scheduler.num_ports() != self.n {
+            return Err(format!(
+                "scheduler port count {} != switch port count {}",
+                scheduler.num_ports(),
+                self.n
+            ));
+        }
+        match &mut self.engine {
+            Engine::Boolean(current) => {
+                // A live trace must keep flowing through the new engine.
+                #[cfg(feature = "telemetry")]
+                {
+                    let mut scheduler = scheduler;
+                    scheduler.set_tracing(self.telemetry.is_some());
+                    return Ok(std::mem::replace(current, scheduler));
+                }
+                #[cfg(not(feature = "telemetry"))]
+                Ok(std::mem::replace(current, scheduler))
+            }
+            Engine::Weighted { .. } => Err("cannot swap a weighted engine".to_string()),
+        }
+    }
+
     /// Number of ports.
     pub fn n(&self) -> usize {
         self.n

@@ -150,6 +150,73 @@ pub trait Traffic {
     }
 }
 
+/// Forwarding impl so a borrowed generator (`&mut dyn Traffic`) can sit in
+/// a [`DriveSession`](crate::session::DriveSession) exactly like an owned
+/// one. `arrivals_into` forwards explicitly — the fast generators override
+/// it, and falling back to the per-input default here would change their
+/// RNG stream.
+impl<T: Traffic + ?Sized> Traffic for &mut T {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn arrival(&mut self, slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        (**self).arrival(slot, input, rng)
+    }
+
+    fn arrivals_into(&mut self, slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
+        (**self).arrivals_into(slot, rng, out);
+    }
+}
+
+/// Forwarding impl so an owned boxed generator (`Box<dyn Traffic>`) can sit
+/// in a [`DriveSession`](crate::session::DriveSession) (serve shards own
+/// their generators).
+impl<T: Traffic + ?Sized> Traffic for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn arrival(&mut self, slot: u64, input: usize, rng: &mut StdRng) -> Option<usize> {
+        (**self).arrival(slot, input, rng)
+    }
+
+    fn arrivals_into(&mut self, slot: u64, rng: &mut StdRng, out: &mut [Option<usize>]) {
+        (**self).arrivals_into(slot, rng, out);
+    }
+}
+
+/// A generator that never produces a packet. Swapped in by
+/// [`DriveSession::drain`](crate::session::DriveSession::drain) so a model
+/// can be stepped until its buffers empty: arrivals stop, the RNG stream is
+/// untouched (zero draws per slot).
+#[derive(Clone, Copy, Debug)]
+pub struct Silence {
+    n: usize,
+}
+
+impl Silence {
+    /// Creates a silent generator for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        Silence { n }
+    }
+}
+
+impl Traffic for Silence {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn arrival(&mut self, _slot: u64, _input: usize, _rng: &mut StdRng) -> Option<usize> {
+        None
+    }
+
+    fn arrivals_into(&mut self, _slot: u64, _rng: &mut StdRng, out: &mut [Option<usize>]) {
+        debug_assert_eq!(out.len(), self.n);
+        out.fill(None);
+    }
+}
+
 /// Independent Bernoulli arrivals of rate `load` per input per slot.
 #[derive(Clone, Debug)]
 pub struct Bernoulli {

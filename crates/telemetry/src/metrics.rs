@@ -58,6 +58,24 @@ impl MetricsRegistry {
             .add(value);
     }
 
+    /// Merges an already-populated histogram into the slot `name` (cloned in
+    /// on first use). Returns `Err` — leaving the slot untouched — when the
+    /// slot already holds a histogram of a different bucket range, mirroring
+    /// [`merge`](MetricsRegistry::merge)'s mismatch reporting.
+    pub fn histogram_merge(
+        &mut self,
+        name: impl Into<String>,
+        hist: &Histogram,
+    ) -> Result<(), crate::hist::RangeMismatch> {
+        match self.histograms.entry(name.into()) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(hist.clone());
+                Ok(())
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => slot.get_mut().merge(hist),
+        }
+    }
+
     /// Reads histogram `name`, if it exists.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -179,6 +197,20 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(2.0));
         assert_eq!(a.histogram("h").map(|h| h.count()), Some(2));
         assert_eq!(a.histogram("only-b").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn histogram_merge_clones_then_accumulates() {
+        let mut h = Histogram::new(8);
+        h.add(1);
+        h.add(3);
+        let mut m = MetricsRegistry::new();
+        assert!(m.histogram_merge("occ", &h).is_ok());
+        assert!(m.histogram_merge("occ", &h).is_ok());
+        assert_eq!(m.histogram("occ").map(|h| h.count()), Some(4));
+        let wrong = Histogram::new(16);
+        assert!(m.histogram_merge("occ", &wrong).is_err());
+        assert_eq!(m.histogram("occ").map(|h| h.count()), Some(4), "unchanged");
     }
 
     #[test]
